@@ -1,0 +1,246 @@
+// bench_c2_utilization — §6.2 / intro claim 5: scoping resource management
+// lets subnetworks run at high utilization, instead of the over-provisioned
+// 30-40% the best-effort Internet needs. A classic dumbbell:
+//
+//   h1,h2,h3 -- r1 ===bottleneck=== r2 -- s1,s2,s3
+//
+// Three arrangements under the same offered-load sweep:
+//   baseline TCP   — go-back-N transport over best-effort IP: every drop
+//                    at the bottleneck burns a window of retransmissions;
+//   RINA flat      — one DIF, end-to-end EFCP only (ablation);
+//   RINA scoped    — a bottleneck-segment DIF whose windowed EFCP turns
+//                    congestion into upstream backpressure before loss.
+//
+// Metrics: bottleneck goodput as % of capacity, wasted bottleneck frames
+// (transmissions that were not new deliveries), p99 delivery delay.
+#include "baseline/net.hpp"
+#include "common.hpp"
+
+using namespace rina;
+using namespace rina::benchx;
+
+namespace {
+
+constexpr double kBottleneckMbps = 30.0;
+constexpr double kAccessMbps = 200.0;
+constexpr std::size_t kSdu = 1000;
+constexpr int kFlows = 3;
+const SimTime kDur = SimTime::from_sec(3);
+
+struct Out {
+  double goodput_pct = 0;   // of bottleneck capacity
+  double waste_pct = 0;     // extra bottleneck frames beyond unique payloads
+  double p99_ms = 0;
+};
+
+/// Drive kFlows CBR sources at `frac` of bottleneck capacity (aggregate).
+template <typename WriteFn>
+std::uint64_t drive_flows(sim::Scheduler& sched, double frac, WriteFn&& write_i) {
+  double total_pps = frac * kBottleneckMbps * 1e6 / 8.0 / kSdu;
+  double pps = total_pps / kFlows;
+  SimTime gap = SimTime::from_sec(1.0 / pps);
+  SimTime end = sched.now() + kDur;
+  std::uint64_t offered = 0, seq = 0;
+  Bytes payload(kSdu, 0xEE);
+  while (sched.now() < end) {
+    for (int i = 0; i < kFlows; ++i) {
+      BufWriter w(16);
+      w.put_u64(seq++);
+      w.put_u64(static_cast<std::uint64_t>(sched.now().ns));
+      Bytes stamp = std::move(w).take();
+      std::copy(stamp.begin(), stamp.end(), payload.begin());
+      ++offered;
+      write_i(i, payload);
+    }
+    sched.run_until(sched.now() + gap);
+  }
+  return offered;
+}
+
+Out run_rina(bool scoped, double frac) {
+  Network net(scoped ? 902 : 901);
+  node::LinkOpts access;
+  access.rate_bps = kAccessMbps * 1e6;
+  node::LinkOpts bottleneck;
+  bottleneck.rate_bps = kBottleneckMbps * 1e6;
+  bottleneck.delay = SimTime::from_ms(2);
+
+  std::vector<std::string> members{"r1", "r2"};
+  for (int i = 1; i <= kFlows; ++i) {
+    net.add_link("h" + std::to_string(i), "r1", access);
+    net.add_link("r2", "s" + std::to_string(i), access);
+    members.push_back("h" + std::to_string(i));
+    members.push_back("s" + std::to_string(i));
+  }
+  net.add_link("r1", "r2", bottleneck);
+
+  naming::DifName app_dif;
+  if (!scoped) {
+    if (!net.build_link_dif(mk_dif("flat", members)).ok()) std::abort();
+    app_dif = naming::DifName{"flat"};
+  } else {
+    // The bottleneck segment gets its own DIF with reliable, windowed EFCP;
+    // everything else is per-side access DIFs; the e2e DIF rides on top.
+    std::vector<std::string> left{"r1"}, right{"r2"};
+    for (int i = 1; i <= kFlows; ++i) {
+      left.push_back("h" + std::to_string(i));
+      right.push_back("s" + std::to_string(i));
+    }
+    if (!net.build_link_dif(mk_dif("left", left)).ok()) std::abort();
+    if (!net.build_link_dif(mk_dif("right", right)).ok()) std::abort();
+    if (!net.build_link_dif(mk_dif("seg", {"r1", "r2"})).ok()) std::abort();
+    std::vector<node::Network::OverlayAdj> adjs;
+    flow::QosSpec seg_qos;  // reliable + windowed: the backpressure source
+    seg_qos.reliable = true;
+    adjs.push_back({"r1", "r2", naming::DifName{"seg"}, seg_qos});
+    for (int i = 1; i <= kFlows; ++i) {
+      adjs.push_back({"h" + std::to_string(i), "r1", naming::DifName{"left"}, {}});
+      adjs.push_back({"r2", "s" + std::to_string(i), naming::DifName{"right"}, {}});
+    }
+    if (!net.build_overlay_dif(mk_dif("e2e", members), std::move(adjs)).ok())
+      std::abort();
+    app_dif = naming::DifName{"e2e"};
+  }
+
+  std::vector<Sink> sinks;
+  sinks.reserve(kFlows);
+  std::vector<flow::FlowInfo> flows;
+  for (int i = 1; i <= kFlows; ++i) {
+    sinks.emplace_back(net.sched());
+    install_sink(net, "s" + std::to_string(i),
+                 naming::AppName("sink" + std::to_string(i)), app_dif,
+                 sinks.back());
+  }
+  for (int i = 1; i <= kFlows; ++i)
+    flows.push_back(must_open_flow(net, "h" + std::to_string(i),
+                                   naming::AppName("src" + std::to_string(i)),
+                                   naming::AppName("sink" + std::to_string(i)),
+                                   flow::QosSpec::reliable_default()));
+
+  sim::Link* bott = net.link_between("r1", "r2");
+  std::uint64_t frames_before = bott->stats().get("tx_frames_large");
+
+  drive_flows(net.sched(), frac, [&](int i, const Bytes& p) {
+    (void)net.node("h" + std::to_string(i + 1))
+        .write(flows[static_cast<std::size_t>(i)].port, BytesView{p});
+  });
+  // Goodput is measured over the loaded window only.
+  std::uint64_t unique = 0;
+  for (auto& s : sinks) unique += s.unique();
+  std::uint64_t frames = bott->stats().get("tx_frames_large") - frames_before;
+  settle(net, SimTime::from_sec(3));
+
+  Histogram delays;
+  for (auto& s : sinks) delays.add(s.delay_ms().p99());
+
+  Out out;
+  double capacity_sdus = kBottleneckMbps * 1e6 / 8.0 / kSdu * kDur.to_sec();
+  out.goodput_pct = 100.0 * static_cast<double>(unique) / capacity_sdus;
+  out.waste_pct = frames > unique
+                      ? 100.0 * static_cast<double>(frames - unique) /
+                            static_cast<double>(frames)
+                      : 0.0;
+  out.p99_ms = delays.max();
+  return out;
+}
+
+Out run_baseline(double frac) {
+  using namespace rina::baseline;
+  BaselineNet net(903);
+  BLinkOpts access;
+  access.rate_bps = kAccessMbps * 1e6;
+  BLinkOpts bott;
+  bott.rate_bps = kBottleneckMbps * 1e6;
+  bott.delay = SimTime::from_ms(2);
+  bott.queue_pkts = 64;  // classic shallow drop-tail bottleneck buffer
+
+  std::vector<IpAddr> sink_addrs;
+  for (int i = 1; i <= kFlows; ++i) {
+    net.add_link("h" + std::to_string(i), "r1", access);
+    auto [_, s] = net.add_link("r2", "s" + std::to_string(i), access);
+    (void)_;
+    sink_addrs.push_back(s);
+  }
+  net.add_link("r1", "r2", bott);
+  net.enable_routing();
+
+  std::uint64_t unique = 0;
+  Histogram delay_ms;
+  std::vector<SockId> socks(kFlows);
+  int connected = 0;
+  for (int i = 1; i <= kFlows; ++i) {
+    auto& srv = net.transport("s" + std::to_string(i));
+    (void)srv.listen(80, [&, i](SockId s) {
+      auto& srv2 = net.transport("s" + std::to_string(i));
+      srv2.set_on_data(s, [&](SockId, Bytes&& b) {
+        BufReader r(BytesView{b});
+        r.get_u64();
+        auto sent = static_cast<std::int64_t>(r.get_u64());
+        if (r.ok()) {
+          ++unique;  // go-back-N receiver is duplicate-free by construction
+          delay_ms.add((net.sched().now() - SimTime{sent}).to_ms());
+        }
+      });
+    });
+    auto& cli = net.transport("h" + std::to_string(i));
+    socks[static_cast<std::size_t>(i - 1)] =
+        cli.connect(sink_addrs[static_cast<std::size_t>(i - 1)], 80, {},
+                    [&](Result<SockId> r) {
+                      if (r.ok()) ++connected;
+                    });
+  }
+  net.run_until([&] { return connected == kFlows; }, SimTime::from_sec(5));
+
+  sim::Link* bl = nullptr;
+  // BaselineNet keeps links private; count waste via transport retx instead.
+  (void)bl;
+  std::uint64_t offered = drive_flows(net.sched(), frac, [&](int i, const Bytes& p) {
+    (void)net.transport("h" + std::to_string(i + 1))
+        .send(socks[static_cast<std::size_t>(i)], BytesView{p});
+  });
+  (void)offered;
+  std::uint64_t unique_window = unique;  // deliveries inside the loaded window
+  net.run_for(SimTime::from_sec(3));
+
+  std::uint64_t retx = 0;
+  for (int i = 1; i <= kFlows; ++i)
+    retx += net.transport("h" + std::to_string(i)).stats().get("retx");
+
+  Out out;
+  double capacity_sdus = kBottleneckMbps * 1e6 / 8.0 / kSdu * kDur.to_sec();
+  out.goodput_pct = 100.0 * static_cast<double>(unique_window) / capacity_sdus;
+  std::uint64_t sent = unique + retx;
+  out.waste_pct =
+      sent > 0 ? 100.0 * static_cast<double>(retx) / static_cast<double>(sent) : 0;
+  out.p99_ms = delay_ms.p99();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("C2 — utilization on a congested bottleneck (capacity %.0f Mb/s)\n",
+              kBottleneckMbps);
+  TablePrinter t({"offered load", "arrangement", "goodput (% capacity)",
+                  "wasted transmissions %", "delay p99 (ms)"});
+  for (double frac : {0.5, 0.8, 0.95, 1.2}) {
+    std::string label = TablePrinter::num(frac * 100, 0) + "%";
+    Out b = run_baseline(frac);
+    t.add_row({label, "baseline TCP (GBN)", TablePrinter::num(b.goodput_pct, 1),
+               TablePrinter::num(b.waste_pct, 1), TablePrinter::num(b.p99_ms, 1)});
+    Out f = run_rina(false, frac);
+    t.add_row({label, "RINA flat (ablation)", TablePrinter::num(f.goodput_pct, 1),
+               TablePrinter::num(f.waste_pct, 1), TablePrinter::num(f.p99_ms, 1)});
+    Out s = run_rina(true, frac);
+    t.add_row({label, "RINA scoped (seg DIF)", TablePrinter::num(s.goodput_pct, 1),
+               TablePrinter::num(s.waste_pct, 1), TablePrinter::num(s.p99_ms, 1)});
+  }
+  t.print("C2 bottleneck utilization sweep");
+  std::printf(
+      "\nExpected shape: at and above capacity the baseline burns a growing\n"
+      "share of the bottleneck on go-back-N retransmissions (goodput sags\n"
+      "well below capacity — the over-provisioning argument); the scoped\n"
+      "arrangement holds goodput at ~capacity with near-zero waste because\n"
+      "the segment DIF's window turns congestion into backpressure.\n");
+  return 0;
+}

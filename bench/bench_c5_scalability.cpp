@@ -1,0 +1,237 @@
+// bench_c5_scalability — §6.5 / intro claim 3: "this repeating structure
+// scales indefinitely ... avoids current problems of growing routing
+// tables". Topology: R regions, each a star of M routers around a border
+// router, borders connected in a ring, 2 hosts per region (N = R*(M+2)).
+//
+// Four arrangements:
+//   baseline flat LS    — one global routing scope: every node's table
+//                         grows with N, every flap floods everyone;
+//   RINA flat           — one DIF, per-node routes (ablation: same curve);
+//   RINA aggregated     — one DIF, topological addresses: one FIB entry
+//                         per foreign REGION (tables grow with R, not N);
+//   RINA recursive      — per-region DIFs + a core DIF of borders + a host
+//                         DIF on top: no table anywhere grows with N.
+//
+// Metrics: max routing-table size over all nodes/IPCPs; total routing
+// messages to bring the network up; messages triggered by one link flap.
+#include "baseline/net.hpp"
+#include "common.hpp"
+
+using namespace rina;
+using namespace rina::benchx;
+
+namespace {
+
+struct Shape {
+  int regions;
+  int routers_per_region;  // spokes around the border, border included
+  [[nodiscard]] int hosts() const { return regions * 2; }
+  [[nodiscard]] int total_nodes() const {
+    return regions * (routers_per_region + 2);
+  }
+};
+
+std::string border(int r) { return "b" + std::to_string(r); }
+std::string spoke(int r, int m) {
+  return "r" + std::to_string(r) + "_" + std::to_string(m);
+}
+std::string host(int r, int k) {
+  return "h" + std::to_string(r) + "_" + std::to_string(k);
+}
+
+/// Wire the physical topology into `add_link(a, b)` callbacks.
+template <typename AddLink>
+void wire(const Shape& s, AddLink&& add_link) {
+  for (int r = 0; r < s.regions; ++r) {
+    for (int m = 1; m < s.routers_per_region; ++m) add_link(border(r), spoke(r, m));
+    add_link(host(r, 0), spoke(r, 1 % s.routers_per_region == 0
+                                      ? 0
+                                      : 1));  // hosts hang off a spoke
+    add_link(host(r, 1), border(r));
+    add_link(border(r), border((r + 1) % s.regions));  // border ring
+  }
+}
+
+struct Out {
+  std::size_t max_table = 0;
+  std::uint64_t bringup_msgs = 0;
+  std::uint64_t flap_msgs = 0;
+};
+
+Out run_rina_single(const Shape& s, bool aggregate) {
+  Network net(aggregate ? 1002 : 1001);
+  std::vector<std::string> members;
+  wire(s, [&](const std::string& a, const std::string& b) {
+    net.add_link(a, b);
+  });
+  node::DifSpec spec = mk_dif("net", {});
+  spec.cfg.aggregate_regions = aggregate;
+  // Topological addresses: region r gets address region r+1.
+  for (int r = 0; r < s.regions; ++r) {
+    auto reg = static_cast<std::uint16_t>(r + 1);
+    std::uint16_t n = 1;
+    spec.members.push_back(border(r));
+    spec.addresses[border(r)] = naming::Address{reg, n++};
+    for (int m = 1; m < s.routers_per_region; ++m) {
+      spec.members.push_back(spoke(r, m));
+      spec.addresses[spoke(r, m)] = naming::Address{reg, n++};
+    }
+    for (int k = 0; k < 2; ++k) {
+      spec.members.push_back(host(r, k));
+      spec.addresses[host(r, k)] = naming::Address{reg, n++};
+    }
+  }
+  if (!net.build_link_dif(spec).ok()) std::abort();
+  net.run_for(SimTime::from_ms(300));
+
+  Out out;
+  out.bringup_msgs = net.sum_dif_counter(naming::DifName{"net"}, "lsus_flooded") +
+                     net.sum_dif_counter(naming::DifName{"net"}, "riep_sent");
+  for (const auto& m : spec.members) {
+    auto* p = net.node(m).ipcp(naming::DifName{"net"});
+    out.max_table = std::max(out.max_table, p->rmt().fib().entry_count());
+  }
+  std::uint64_t before = net.sum_dif_counter(naming::DifName{"net"}, "lsus_flooded");
+  (void)net.set_link_state(border(0), spoke(0, 1), false);
+  net.run_for(SimTime::from_ms(200));
+  out.flap_msgs = net.sum_dif_counter(naming::DifName{"net"}, "lsus_flooded") - before;
+  return out;
+}
+
+Out run_rina_recursive(const Shape& s) {
+  Network net(1003);
+  wire(s, [&](const std::string& a, const std::string& b) {
+    net.add_link(a, b);
+  });
+  // Region DIFs.
+  for (int r = 0; r < s.regions; ++r) {
+    std::vector<std::string> mem{border(r)};
+    for (int m = 1; m < s.routers_per_region; ++m) mem.push_back(spoke(r, m));
+    mem.push_back(host(r, 0));
+    mem.push_back(host(r, 1));
+    if (!net.build_link_dif(mk_dif("region" + std::to_string(r), mem)).ok())
+      std::abort();
+  }
+  // Core DIF over the border ring.
+  {
+    std::vector<std::string> borders;
+    for (int r = 0; r < s.regions; ++r) borders.push_back(border(r));
+    if (!net.build_link_dif(mk_dif("corering", borders)).ok()) std::abort();
+  }
+  // Host DIF: hosts + borders; hosts attach to their border over the
+  // region DIF, borders to each other over the core DIF.
+  {
+    node::DifSpec top = mk_dif("hosts", {});
+    std::vector<node::Network::OverlayAdj> adjs;
+    for (int r = 0; r < s.regions; ++r) {
+      top.members.push_back(border(r));
+      naming::DifName lower{"region" + std::to_string(r)};
+      for (int k = 0; k < 2; ++k) {
+        top.members.push_back(host(r, k));
+        adjs.push_back({host(r, k), border(r), lower, {}});
+      }
+      adjs.push_back(
+          {border(r), border((r + 1) % s.regions), naming::DifName{"corering"}, {}});
+    }
+    if (!net.build_overlay_dif(top, std::move(adjs)).ok()) std::abort();
+  }
+
+  Out out;
+  std::vector<std::string> dif_names{"corering", "hosts"};
+  for (int r = 0; r < s.regions; ++r) dif_names.push_back("region" + std::to_string(r));
+  for (const auto& d : dif_names) {
+    out.bringup_msgs += net.sum_dif_counter(naming::DifName{d}, "lsus_flooded") +
+                        net.sum_dif_counter(naming::DifName{d}, "riep_sent");
+  }
+  // Max table over every IPCP of every node.
+  for (int r = 0; r < s.regions; ++r) {
+    for (const auto& d : dif_names) {
+      for (int k = 0; k < 2; ++k) {
+        auto* p = net.node(host(r, k)).ipcp(naming::DifName{d});
+        if (p) out.max_table = std::max(out.max_table, p->rmt().fib().entry_count());
+      }
+      auto* p = net.node(border(r)).ipcp(naming::DifName{d});
+      if (p) out.max_table = std::max(out.max_table, p->rmt().fib().entry_count());
+      for (int m = 1; m < s.routers_per_region; ++m) {
+        auto* q = net.node(spoke(r, m)).ipcp(naming::DifName{d});
+        if (q) out.max_table = std::max(out.max_table, q->rmt().fib().entry_count());
+      }
+    }
+  }
+  // Flap inside region 0: floods stay inside region0's DIF.
+  std::uint64_t before = 0;
+  for (const auto& d : dif_names)
+    before += net.sum_dif_counter(naming::DifName{d}, "lsus_flooded");
+  (void)net.set_link_state(border(0), spoke(0, 1), false);
+  net.run_for(SimTime::from_ms(200));
+  std::uint64_t after = 0;
+  for (const auto& d : dif_names)
+    after += net.sum_dif_counter(naming::DifName{d}, "lsus_flooded");
+  out.flap_msgs = after - before;
+  return out;
+}
+
+Out run_baseline(const Shape& s) {
+  using namespace rina::baseline;
+  BaselineNet net(1004);
+  wire(s, [&](const std::string& a, const std::string& b) {
+    net.add_link(a, b);
+  });
+  net.enable_routing(/*all_nodes=*/true);
+  net.run_for(SimTime::from_ms(300));
+
+  Out out;
+  out.bringup_msgs = net.sum_counter("routing_msgs_sent");
+  for (int r = 0; r < s.regions; ++r) {
+    out.max_table = std::max(out.max_table, net.node(border(r)).fib_size());
+    for (int m = 1; m < s.routers_per_region; ++m)
+      out.max_table = std::max(out.max_table, net.node(spoke(r, m)).fib_size());
+  }
+  std::uint64_t before = net.sum_counter("routing_msgs_sent");
+  (void)net.set_link_state(border(0), spoke(0, 1), false);
+  net.run_for(SimTime::from_ms(200));
+  out.flap_msgs = net.sum_counter("routing_msgs_sent") - before;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("C5 — §6.5 scalability: routing state and message economy vs N\n");
+  TablePrinter t({"N (nodes)", "arrangement", "max table entries",
+                  "bring-up msgs", "one-flap msgs"});
+  for (Shape s : {Shape{4, 4}, Shape{6, 8}, Shape{8, 12}}) {
+    std::string n = std::to_string(s.total_nodes());
+    {
+      Out o = run_baseline(s);
+      t.add_row({n, "baseline flat LS", TablePrinter::integer(o.max_table),
+                 TablePrinter::integer(o.bringup_msgs),
+                 TablePrinter::integer(o.flap_msgs)});
+    }
+    {
+      Out o = run_rina_single(s, false);
+      t.add_row({n, "RINA one DIF, flat", TablePrinter::integer(o.max_table),
+                 TablePrinter::integer(o.bringup_msgs),
+                 TablePrinter::integer(o.flap_msgs)});
+    }
+    {
+      Out o = run_rina_single(s, true);
+      t.add_row({n, "RINA one DIF, aggregated", TablePrinter::integer(o.max_table),
+                 TablePrinter::integer(o.bringup_msgs),
+                 TablePrinter::integer(o.flap_msgs)});
+    }
+    {
+      Out o = run_rina_recursive(s);
+      t.add_row({n, "RINA recursive DIFs", TablePrinter::integer(o.max_table),
+                 TablePrinter::integer(o.bringup_msgs),
+                 TablePrinter::integer(o.flap_msgs)});
+    }
+  }
+  t.print("C5 routing-state growth");
+  std::printf(
+      "\nExpected shape: flat tables (baseline and the flat ablation) grow\n"
+      "linearly with N. Topological aggregation bends the curve to ~region\n"
+      "count + region size. Recursion caps EVERY table at its DIF's scope\n"
+      "and confines a flap's flood to the region DIF it happened in.\n");
+  return 0;
+}

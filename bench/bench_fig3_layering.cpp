@@ -1,0 +1,139 @@
+// bench_fig3_layering — Figure 3: repeating DIFs over a path with lossy
+// wireless edges (hostA ~ b1 — b2 ~ hostB). The claim: a DIF whose scope
+// is just the lossy segment can run a policy tuned to it (short RTO,
+// aggressive local retransmission), recovering losses in microseconds at
+// the hop instead of milliseconds end-to-end. We sweep Gilbert-Elliott
+// burst-loss severity and compare:
+//   flat     — one DIF over all links, recovery only end-to-end;
+//   layered  — per-edge access DIFs ("wireless-hop" EFCP policy) + core
+//              DIF + a host-to-host DIF on top (the Fig. 3 stack).
+#include "common.hpp"
+
+using namespace rina;
+using namespace rina::benchx;
+
+namespace {
+
+struct Out {
+  double delivered_pct = 0;
+  double goodput_mbps = 0;
+  double p99_ms = 0;
+  std::uint64_t e2e_retx = 0;
+  std::uint64_t hop_retx = 0;
+};
+
+flow::QosCube wireless_cube() {
+  flow::QosCube c;
+  c.id = 2;
+  c.name = "wireless";
+  c.efcp_policy = "wireless-hop";
+  c.priority = 2;
+  c.reliable = true;
+  c.in_order = true;
+  return c;
+}
+
+Out run_one(bool layered, double badness, std::uint64_t seed) {
+  const double link_mbps = 50.0;
+  const std::size_t sdu = 1000;
+
+  sim::GilbertElliottLoss::Params ge;
+  ge.p_good_to_bad = 0.02 * badness;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_good = 0.002 * badness;
+  ge.loss_bad = 0.40;
+
+  Network net(seed);
+  node::LinkOpts wireless;
+  wireless.rate_bps = link_mbps * 1e6;
+  wireless.delay = SimTime::from_us(300);
+  wireless.gilbert_elliott = ge;
+  node::LinkOpts wired;
+  wired.rate_bps = link_mbps * 1e6;
+  wired.delay = SimTime::from_us(300);
+
+  net.add_link("hostA", "b1", wireless);
+  net.add_link("b1", "b2", wired);
+  net.add_link("b2", "hostB", wireless);
+
+  naming::DifName app_dif;
+  if (!layered) {
+    if (!net.build_link_dif(mk_dif("flat", {"b1", "hostA", "b2", "hostB"})).ok())
+      std::abort();
+    app_dif = naming::DifName{"flat"};
+  } else {
+    auto acc1 = mk_dif("acc1", {"b1", "hostA"});
+    acc1.cfg.cubes.push_back(wireless_cube());
+    auto acc2 = mk_dif("acc2", {"b2", "hostB"});
+    acc2.cfg.cubes.push_back(wireless_cube());
+    auto core = mk_dif("core", {"b1", "b2"});
+    if (!net.build_link_dif(acc1).ok()) std::abort();
+    if (!net.build_link_dif(acc2).ok()) std::abort();
+    if (!net.build_link_dif(core).ok()) std::abort();
+
+    flow::QosSpec hop_qos;
+    hop_qos.cube_hint = "wireless";
+    node::DifSpec e2e = mk_dif("e2e", {"b1", "hostA", "b2", "hostB"});
+    if (!net.build_overlay_dif(
+                e2e, {{"hostA", "b1", naming::DifName{"acc1"}, hop_qos},
+                      {"b1", "b2", naming::DifName{"core"}, {}},
+                      {"b2", "hostB", naming::DifName{"acc2"}, hop_qos}})
+             .ok())
+      std::abort();
+    app_dif = naming::DifName{"e2e"};
+  }
+
+  Sink sink(net.sched());
+  install_sink(net, "hostB", naming::AppName("sinkapp"), app_dif, sink);
+  auto info = must_open_flow(net, "hostA", naming::AppName("src"),
+                             naming::AppName("sinkapp"),
+                             flow::QosSpec::reliable_default());
+
+  const double pps = 0.5 * link_mbps * 1e6 / 8.0 / static_cast<double>(sdu);
+  SimTime dur = SimTime::from_sec(4);
+  auto load = run_load(net, "hostA", info.port, pps, sdu, dur);
+  settle(net, SimTime::from_sec(4));
+
+  Out out;
+  out.delivered_pct = 100.0 * static_cast<double>(sink.unique()) /
+                      static_cast<double>(load.offered);
+  out.goodput_mbps = static_cast<double>(sink.unique()) *
+                     static_cast<double>(sdu) * 8.0 / dur.to_sec() / 1e6;
+  out.p99_ms = sink.delay_ms().p99();
+  auto* conn = net.node("hostA").ipcp(app_dif)->fa().connection(info.port);
+  if (conn != nullptr) out.e2e_retx = conn->stats().get("pdus_retx");
+  // Hop-level retransmissions: sum over the access DIFs' flow connections.
+  for (const char* d : {"acc1", "acc2"})
+    out.hop_retx += net.sum_dif_counter(naming::DifName{d}, "pdus_retx");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 3 — DIF layering over lossy wireless edges (50 Mb/s, GE loss)\n");
+  TablePrinter t({"burst severity", "stack", "delivered %", "goodput (Mb/s)",
+                  "delay p99 (ms)", "e2e retx", "hop retx"});
+  struct Case {
+    const char* label;
+    double badness;
+  };
+  for (Case c : {Case{"light", 0.5}, Case{"moderate", 1.0}, Case{"heavy", 2.5}}) {
+    for (bool layered : {false, true}) {
+      Out o = run_one(layered, c.badness, layered ? 302 : 301);
+      t.add_row({c.label, layered ? "layered (Fig. 3)" : "flat",
+                 TablePrinter::num(o.delivered_pct, 1),
+                 TablePrinter::num(o.goodput_mbps, 1),
+                 TablePrinter::num(o.p99_ms, 2), TablePrinter::integer(o.e2e_retx),
+                 TablePrinter::integer(o.hop_retx)});
+    }
+  }
+  t.print("Fig3 per-scope recovery vs end-to-end recovery");
+  std::printf(
+      "\nExpected shape: both deliver everything (reliable EFCP), but the\n"
+      "layered stack recovers losses at the lossy hop (hop retx >> e2e retx)\n"
+      "with a much lower p99 delay; the flat stack's p99 inflates with every\n"
+      "end-to-end retransmission round trip. The gap widens with burstiness.\n");
+  return 0;
+}

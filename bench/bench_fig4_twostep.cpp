@@ -1,0 +1,130 @@
+// bench_fig4_twostep — Figure 4: forwarding is a two-step process (pick
+// next-hop node, then pick a path/PoA to it). Measures what each recovery
+// mechanism costs when a path dies mid-flow:
+//   * 2 PoA, late binding  — step 2 falls over on the next PDU; routing
+//                            does not move at all;
+//   * 1 PoA + reroute      — step 1 must change: link-state flood + SPF;
+//   * PoA policy ablation  — first-up vs round-robin spreading.
+#include "common.hpp"
+
+using namespace rina;
+using namespace rina::benchx;
+
+namespace {
+
+struct Out {
+  double outage_ms = 0;
+  std::uint64_t lsus = 0;
+  std::uint64_t retx = 0;
+};
+
+/// Drive 1 SDU/ms; kill `fail_link` at t0+1s; measure the longest delivery
+/// gap at the sink around the failure.
+Out run_scenario(Network& net, const naming::DifName& dif,
+                 const std::string& fail_a, const std::string& fail_b) {
+  Sink sink(net.sched());
+  install_sink(net, "hostB", naming::AppName("srv"), dif, sink);
+  auto info = must_open_flow(net, "hostA", naming::AppName("cli"),
+                             naming::AppName("srv"),
+                             flow::QosSpec::reliable_default());
+
+  std::uint64_t lsus_before = net.sum_dif_counter(dif, "lsus_originated");
+
+  // Warm up 1 s, fail, run 3 more seconds; track inter-delivery gaps.
+  SimTime last_delivery = net.now();
+  double max_gap_ms = 0;
+  std::uint64_t seen = 0;
+  auto poll = [&] {
+    if (sink.unique() > seen) {
+      seen = sink.unique();
+      last_delivery = net.now();
+    }
+  };
+  Bytes payload(64, 0);
+  std::uint64_t seq = 0;
+  bool failed = false;
+  SimTime t_end = net.now() + SimTime::from_sec(4);
+  SimTime t_fail = net.now() + SimTime::from_sec(1);
+  while (net.now() < t_end) {
+    if (!failed && net.now() >= t_fail) {
+      (void)net.set_link_state(fail_a, fail_b, false);
+      failed = true;
+      last_delivery = net.now();
+    }
+    BufWriter w(16);
+    w.put_u64(seq++);
+    w.put_u64(static_cast<std::uint64_t>(net.now().ns));
+    Bytes stamp = std::move(w).take();
+    payload.resize(64);
+    std::copy(stamp.begin(), stamp.end(), payload.begin());
+    (void)net.node("hostA").write(info.port, BytesView{payload});
+    net.run_for(SimTime::from_ms(1));
+    poll();
+    if (failed) max_gap_ms = std::max(max_gap_ms, (net.now() - last_delivery).to_ms());
+  }
+
+  Out out;
+  out.outage_ms = max_gap_ms;
+  out.lsus = net.sum_dif_counter(dif, "lsus_originated") - lsus_before;
+  auto* conn = net.node("hostA").ipcp(dif)->fa().connection(info.port);
+  out.retx = conn != nullptr ? conn->stats().get("pdus_retx") : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4 — two-step routing: PoA failover vs route failover\n");
+  TablePrinter t(
+      {"scenario", "outage (ms)", "routing LSUs after failure", "e2e retx"});
+
+  {
+    // Two parallel links hostA=hostB: late binding to the surviving PoA.
+    Network net(401);
+    net.add_link("hostA", "hostB");
+    net.add_link("hostA", "hostB");
+    if (!net.build_link_dif(mk_dif("net", {"hostA", "hostB"})).ok()) return 1;
+    Out o = run_scenario(net, naming::DifName{"net"}, "hostA", "hostB");
+    t.add_row({"2 PoA, late binding (step 2)", TablePrinter::num(o.outage_ms, 2),
+               TablePrinter::integer(o.lsus), TablePrinter::integer(o.retx)});
+  }
+  {
+    // Disjoint router paths of UNEQUAL length: the backup is strictly
+    // longer, so it is not in the ECMP set — step 1 must reconverge.
+    Network net(402);
+    net.add_link("hostA", "r1");
+    net.add_link("r1", "hostB");
+    net.add_link("hostA", "r2a");
+    net.add_link("r2a", "r2b");
+    net.add_link("r2b", "hostB");
+    if (!net.build_link_dif(
+                mk_dif("net", {"hostA", "r1", "r2a", "r2b", "hostB"}))
+             .ok())
+      return 1;
+    Out o = run_scenario(net, naming::DifName{"net"}, "hostA", "r1");
+    t.add_row({"1 PoA, reroute (step 1)", TablePrinter::num(o.outage_ms, 2),
+               TablePrinter::integer(o.lsus), TablePrinter::integer(o.retx)});
+  }
+  {
+    // Ablation: round-robin PoA spreading, then failover.
+    Network net(403);
+    net.add_link("hostA", "hostB");
+    net.add_link("hostA", "hostB");
+    if (!net.build_link_dif(mk_dif("net", {"hostA", "hostB"})).ok()) return 1;
+    net.node("hostA")
+        .ipcp(naming::DifName{"net"})
+        ->rmt()
+        .fib()
+        .set_poa_policy(relay::PoaPolicy::round_robin);
+    Out o = run_scenario(net, naming::DifName{"net"}, "hostA", "hostB");
+    t.add_row({"2 PoA, round-robin (ablation)", TablePrinter::num(o.outage_ms, 2),
+               TablePrinter::integer(o.lsus), TablePrinter::integer(o.retx)});
+  }
+
+  t.print("Fig4 two-step forwarding: where failure recovery happens");
+  std::printf(
+      "\nExpected shape: PoA failover (step 2) has near-zero outage and NO\n"
+      "routing traffic — the address-to-path binding is late. Rerouting\n"
+      "(step 1) needs an LSU flood + SPF and rides out a visible outage.\n");
+  return 0;
+}

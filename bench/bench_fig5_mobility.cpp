@@ -1,0 +1,144 @@
+// bench_fig5_mobility — Figure 5: "as a mobile host moves, it joins new
+// DIFs and drops its participation in old ones". The stack:
+//
+//     top DIF (host-to-host):   S — gw1 — gw2 — M
+//     core DIF:                 S, gw1, gw2
+//     access DIF acc1:          gw1, bs1a, bs1b, M      (M starts here)
+//     access DIF acc2:          gw2, bs2a               (M moves here)
+//
+// Move A (local, Fig. 5's (N-2) move): M hops bs1a → bs1b inside acc1.
+//   Only acc1's routing reacts; the top DIF — and M's top address — see
+//   nothing at all.
+// Move B (wide, Fig. 5's (N-1) move): M leaves acc1, joins acc2, and
+//   re-attaches to the top DIF via gw2. The top DIF sees one adjacency
+//   change; M's top address is unchanged; S's flow to M survives.
+//
+// Counted per DIF: LSUs originated+received (flood extent), SPF runs.
+#include "common.hpp"
+
+using namespace rina;
+using namespace rina::benchx;
+
+namespace {
+
+struct DifCounters {
+  std::uint64_t lsus = 0;
+  std::uint64_t spf = 0;
+};
+
+DifCounters snapshot(Network& net, const std::string& dif) {
+  DifCounters c;
+  c.lsus = net.sum_dif_counter(naming::DifName{dif}, "lsus_originated") +
+           net.sum_dif_counter(naming::DifName{dif}, "lsus_received");
+  c.spf = net.sum_dif_counter(naming::DifName{dif}, "spf_runs");
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 5 — mobility as dynamic multihoming, update locality\n");
+
+  Network net(501);
+  // acc1: the first access network.
+  net.add_link("gw1", "bs1a");
+  net.add_link("gw1", "bs1b");
+  net.add_link("M", "bs1a");
+  if (!net.build_link_dif(mk_dif("acc1", {"gw1", "bs1a", "bs1b", "M"})).ok())
+    return 1;
+  net.add_link("M", "bs1b");  // the local-move target (currently unused)
+  // acc2: the access network M will move to.
+  net.add_link("gw2", "bs2a");
+  if (!net.build_link_dif(mk_dif("acc2", {"gw2", "bs2a"})).ok()) return 1;
+  net.add_link("M", "bs2a");  // the wide-move target
+  // core between the gateways and the server.
+  net.add_link("S", "gw1");
+  net.add_link("S", "gw2");
+  if (!net.build_link_dif(mk_dif("core", {"S", "gw1", "gw2"})).ok()) return 1;
+
+  // top host-to-host DIF; keepalives detect a silently vanished peer.
+  node::DifSpec top = mk_dif("top", {"S", "gw1", "gw2", "M"});
+  top.cfg.keepalive_enabled = true;
+  top.cfg.keepalive_interval = SimTime::from_ms(100);
+  if (!net.build_overlay_dif(top, {{"S", "gw1", naming::DifName{"core"}, {}},
+                                   {"S", "gw2", naming::DifName{"core"}, {}},
+                                   {"gw1", "gw2", naming::DifName{"core"}, {}},
+                                   {"M", "gw1", naming::DifName{"acc1"}, {}}})
+           .ok())
+    return 1;
+  // gw2 must be reachable as an overlay member inside acc2 for the later
+  // re-attachment.
+  if (!net.register_overlay_member(naming::DifName{"top"}, "gw2",
+                                   naming::DifName{"acc2"})
+           .ok())
+    return 1;
+
+  // Server flow S -> M over the top DIF.
+  Sink sink(net.sched());
+  install_sink(net, "M", naming::AppName("mobapp"), naming::DifName{"top"}, sink);
+  auto info = must_open_flow(net, "S", naming::AppName("srv"),
+                             naming::AppName("mobapp"),
+                             flow::QosSpec::reliable_default());
+  run_load(net, "S", info.port, 200.0, 200, SimTime::from_sec(1));
+
+  auto* m_top = net.node("M").ipcp(naming::DifName{"top"});
+  naming::Address top_addr_initial = m_top->address();
+
+  TablePrinter t({"event", "acc1 LSU msgs", "acc2 LSU msgs", "top LSU msgs",
+                  "top SPF runs", "M top address"});
+  auto report = [&](const std::string& label, DifCounters a1, DifCounters a2,
+                    DifCounters tp) {
+    DifCounters na1 = snapshot(net, "acc1"), na2 = snapshot(net, "acc2"),
+                ntp = snapshot(net, "top");
+    t.add_row({label, TablePrinter::integer(na1.lsus - a1.lsus),
+               TablePrinter::integer(na2.lsus - a2.lsus),
+               TablePrinter::integer(ntp.lsus - tp.lsus),
+               TablePrinter::integer(ntp.spf - tp.spf),
+               m_top->address().to_string()});
+  };
+
+  // ---- Move A: local (bs1a -> bs1b inside acc1) ----
+  {
+    auto a1 = snapshot(net, "acc1"), a2 = snapshot(net, "acc2"),
+         tp = snapshot(net, "top");
+    if (!net.connect_members(naming::DifName{"acc1"}, "M", "bs1b").ok()) return 1;
+    (void)net.set_link_state("M", "bs1a", false);
+    run_load(net, "S", info.port, 200.0, 200, SimTime::from_sec(1), 1u << 20);
+    settle(net, SimTime::from_sec(1));
+    report("local move (new PoA in acc1)", a1, a2, tp);
+  }
+
+  // ---- Move B: wide (leave acc1, join acc2, re-attach top via gw2) ----
+  {
+    auto a1 = snapshot(net, "acc1"), a2 = snapshot(net, "acc2"),
+         tp = snapshot(net, "top");
+    (void)net.set_link_state("M", "bs1b", false);  // radio fades out
+    if (!net.attach_via_link(naming::DifName{"acc2"}, "M", "bs2a").ok()) return 1;
+    if (!net.register_overlay_member(naming::DifName{"top"}, "M",
+                                     naming::DifName{"acc2"})
+             .ok())
+      return 1;
+    net.run_for(SimTime::from_ms(600));  // keepalives notice the dead leg
+    if (!net.connect_overlay_members(
+                naming::DifName{"top"},
+                {"M", "gw2", naming::DifName{"acc2"}, {}})
+             .ok())
+      return 1;
+    run_load(net, "S", info.port, 200.0, 200, SimTime::from_sec(1), 2u << 20);
+    settle(net, SimTime::from_sec(1));
+    report("wide move (acc1 -> acc2)", a1, a2, tp);
+  }
+
+  t.print("Fig5 update locality as M moves");
+  std::printf("\nS -> M unique SDUs delivered across all phases: %llu "
+              "(flow survived both moves; top address %s -> %s)\n",
+              static_cast<unsigned long long>(sink.unique()),
+              top_addr_initial.to_string().c_str(),
+              m_top->address().to_string().c_str());
+  std::printf(
+      "\nExpected shape: the local move floods LSUs only inside acc1 (the\n"
+      "top DIF shows zero new LSUs); the wide move touches acc2 and the top\n"
+      "DIF once, M's top-DIF address does not change, and the server's flow\n"
+      "survives both moves — mobility is just dynamic multihoming (§6.4).\n");
+  return 0;
+}

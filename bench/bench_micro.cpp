@@ -1,0 +1,156 @@
+// bench_micro — datapath microbenchmarks (google-benchmark).
+//
+// These calibrate the simulator's building blocks: header codec costs,
+// RIEP message costs, SPF, two-step FIB lookups, RIB operations, and a
+// full EFCP write→deliver round trip through two wired connections.
+#include <benchmark/benchmark.h>
+
+#include "efcp/connection.hpp"
+#include "naming/directory.hpp"
+#include "relay/forwarding.hpp"
+#include "rib/riep.hpp"
+#include "routing/graph.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace rina;
+
+static void BM_PciEncode(benchmark::State& state) {
+  efcp::Pdu pdu;
+  pdu.pci.dest = naming::Address{1, 2};
+  pdu.pci.src = naming::Address{1, 3};
+  pdu.pci.seq = 12345;
+  pdu.payload.assign(1000, 0xAA);
+  for (auto _ : state) {
+    Bytes wire = pdu.encode();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_PciEncode);
+
+static void BM_PciDecode(benchmark::State& state) {
+  efcp::Pdu pdu;
+  pdu.pci.seq = 7;
+  pdu.payload.assign(1000, 0xAA);
+  Bytes wire = pdu.encode();
+  for (auto _ : state) {
+    auto decoded = efcp::Pdu::decode(BytesView{wire});
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_PciDecode);
+
+static void BM_RiepRoundTrip(benchmark::State& state) {
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::write;
+  m.invoke_id = 42;
+  m.obj_name = "/routing/lsdb/1.7";
+  m.obj_class = "LSU";
+  m.value.assign(128, 0x55);
+  for (auto _ : state) {
+    Bytes wire = m.encode();
+    auto decoded = rib::RiepMessage::decode(BytesView{wire});
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_RiepRoundTrip);
+
+static void BM_Dijkstra(benchmark::State& state) {
+  // Ring of regions with spokes: |V| = regions * (spokes+1).
+  auto n = static_cast<std::uint16_t>(state.range(0));
+  routing::Graph g;
+  for (std::uint16_t r = 0; r < n; ++r) {
+    naming::Address border{static_cast<std::uint16_t>(r + 1), 1};
+    naming::Address next{static_cast<std::uint16_t>((r + 1) % n + 1), 1};
+    g.add_edge(border, next, 1);
+    g.add_edge(next, border, 1);
+    for (std::uint16_t s = 2; s <= 4; ++s) {
+      naming::Address spoke{static_cast<std::uint16_t>(r + 1), s};
+      g.add_edge(border, spoke, 1);
+      g.add_edge(spoke, border, 1);
+    }
+  }
+  naming::Address src{1, 1};
+  for (auto _ : state) {
+    auto spf = g.dijkstra(src);
+    benchmark::DoNotOptimize(spf);
+  }
+  state.SetLabel(std::to_string(g.node_count()) + " nodes");
+}
+BENCHMARK(BM_Dijkstra)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_TwoStepLookup(benchmark::State& state) {
+  relay::ForwardingTable fib;
+  for (std::uint16_t i = 2; i < 200; ++i)
+    fib.set_next_hops(naming::Address{1, i}, {naming::Address{1, 1}});
+  fib.set_neighbor_ports(naming::Address{1, 1}, {0, 1, 2});
+  auto up = [](relay::PortIndex p) { return p != 0; };  // first PoA is dead
+  for (auto _ : state) {
+    auto d = fib.lookup(naming::Address{1, 150}, up);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_TwoStepLookup);
+
+static void BM_DirectoryLookup(benchmark::State& state) {
+  naming::Directory dir;
+  for (int i = 0; i < 1000; ++i)
+    dir.add(naming::AppName("app" + std::to_string(i), "1"),
+            naming::Address{1, static_cast<std::uint16_t>(i % 200 + 1)});
+  naming::AppName probe("app777", "1");
+  for (auto _ : state) {
+    auto hit = dir.lookup(probe);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_DirectoryLookup);
+
+static void BM_RibWriteRead(benchmark::State& state) {
+  rib::Rib rib;
+  (void)rib.create("/bench/key", "Blob", to_bytes("v"));
+  Bytes value(64, 0x11);
+  for (auto _ : state) {
+    (void)rib.write("/bench/key", value);
+    auto r = rib.read("/bench/key");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RibWriteRead);
+
+static void BM_SchedulerChurn(benchmark::State& state) {
+  sim::Scheduler sched;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      sched.schedule_after(SimTime::from_us(i), [] {});
+    sched.run();
+  }
+}
+BENCHMARK(BM_SchedulerChurn);
+
+static void BM_EfcpRoundTrip(benchmark::State& state) {
+  // Two EFCP connections wired back-to-back: SDU write -> PDU -> peer
+  // delivery -> ack back, timers on a shared scheduler.
+  sim::Scheduler sched;
+  efcp::EfcpPolicies pol;
+  efcp::ConnectionId ida{naming::Address{1, 1}, naming::Address{1, 2}, 1, 2, 0};
+  efcp::ConnectionId idb{naming::Address{1, 2}, naming::Address{1, 1}, 2, 1, 0};
+  std::uint64_t delivered = 0;
+  efcp::Connection *pa = nullptr, *pb = nullptr;
+  efcp::Connection a(
+      sched, pol, ida, [&](efcp::Pdu&& pdu) { pb->on_pdu(pdu.pci, BytesView{pdu.payload}); },
+      [&](Bytes&&) {});
+  efcp::Connection b(
+      sched, pol, idb, [&](efcp::Pdu&& pdu) { pa->on_pdu(pdu.pci, BytesView{pdu.payload}); },
+      [&](Bytes&&) { ++delivered; });
+  pa = &a;
+  pb = &b;
+  Bytes sdu(1000, 0x77);
+  for (auto _ : state) {
+    (void)a.write_sdu(BytesView{sdu});
+    sched.run();
+  }
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered));
+}
+BENCHMARK(BM_EfcpRoundTrip);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// common.hpp — shared machinery for the scenario benches.
+//
+// Every bench binary regenerates one figure/claim of the paper (see
+// EXPERIMENTS.md): it builds a topology, drives stamped traffic, and
+// prints a table whose rows are the series the paper's argument predicts.
+// SDUs carry [seq u64][send_time_ns i64] so sinks measure loss, duplication
+// and one-way delay without any side channel.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "node/network.hpp"
+
+namespace rina::benchx {
+
+using node::Network;
+
+inline node::DifSpec mk_dif(const std::string& name,
+                            std::vector<std::string> members) {
+  node::DifSpec s;
+  s.cfg.name = naming::DifName{name};
+  s.members = std::move(members);
+  return s;
+}
+
+/// Receiving-side bookkeeping: unique/dup counts and one-way delay.
+class Sink {
+ public:
+  explicit Sink(sim::Scheduler& sched) : sched_(sched) {}
+
+  void deliver(BytesView sdu) {
+    ++sdus_;
+    bytes_ += sdu.size();
+    if (sdu.size() < 16) return;
+    BufReader r(sdu);
+    std::uint64_t seq = r.get_u64();
+    auto sent_ns = static_cast<std::int64_t>(r.get_u64());
+    if (seen_.size() <= seq) seen_.resize(seq + 1, false);
+    if (seen_[seq]) {
+      ++dups_;
+      return;
+    }
+    seen_[seq] = true;
+    delay_ms_.add((sched_.now() - SimTime{sent_ns}).to_ms());
+  }
+
+  [[nodiscard]] std::uint64_t sdus() const noexcept { return sdus_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return dups_; }
+  [[nodiscard]] std::uint64_t unique() const noexcept {
+    std::uint64_t n = 0;
+    for (bool b : seen_) n += b ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] const Histogram& delay_ms() const noexcept { return delay_ms_; }
+
+  void reset() {
+    sdus_ = bytes_ = dups_ = 0;
+    seen_.clear();
+    delay_ms_.clear();
+  }
+
+ private:
+  sim::Scheduler& sched_;
+  std::uint64_t sdus_ = 0, bytes_ = 0, dups_ = 0;
+  std::vector<bool> seen_;
+  Histogram delay_ms_;
+};
+
+/// Register `app` on `dif` at `on_node`, delivering into `sink`.
+inline void install_sink(Network& net, const std::string& on_node,
+                         const naming::AppName& app, const naming::DifName& dif,
+                         Sink& sink) {
+  flow::AppHandler h;
+  h.on_data = [&sink](flow::PortId, Bytes&& sdu) { sink.deliver(BytesView{sdu}); };
+  auto r = net.node(on_node).register_app(app, dif, std::move(h));
+  if (!r.ok()) {
+    std::fprintf(stderr, "install_sink failed: %s\n", r.error().to_string().c_str());
+    std::abort();
+  }
+  net.run_for(SimTime::from_ms(60));
+}
+
+/// Allocate a flow and abort on failure (benches expect working setups).
+inline flow::FlowInfo must_open_flow(Network& net, const std::string& from,
+                                     const naming::AppName& local,
+                                     const naming::AppName& remote,
+                                     const flow::QosSpec& spec,
+                                     const naming::DifName* pin = nullptr) {
+  std::optional<Result<flow::FlowInfo>> got;
+  auto cb = [&](Result<flow::FlowInfo> r) { got = std::move(r); };
+  if (pin != nullptr)
+    net.node(from).allocate_flow_on(*pin, local, remote, spec, cb);
+  else
+    net.node(from).allocate_flow(local, remote, spec, cb);
+  net.run_until([&] { return got.has_value(); }, SimTime::from_sec(10));
+  if (!got || !got->ok()) {
+    std::fprintf(stderr, "flow allocation failed: %s\n",
+                 got ? got->error().to_string().c_str() : "timeout");
+    std::abort();
+  }
+  return got->value();
+}
+
+/// Open-loop CBR driver: offers `pps` stamped SDUs/s for `duration`.
+/// Returns the number offered. Refused writes (backpressure) count as
+/// offered-but-not-accepted; the sink's `unique()` measures delivery.
+struct LoadResult {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+};
+
+inline LoadResult run_load(Network& net, const std::string& from,
+                           flow::PortId port, double pps, std::size_t sdu_bytes,
+                           SimTime duration, std::uint64_t first_seq = 0) {
+  LoadResult res;
+  Bytes payload(std::max<std::size_t>(sdu_bytes, 16), 0xCD);
+  SimTime end = net.now() + duration;
+  SimTime gap = SimTime::from_sec(1.0 / pps);
+  std::uint64_t seq = first_seq;
+  while (net.now() < end) {
+    BufWriter w(16);
+    w.put_u64(seq);
+    w.put_u64(static_cast<std::uint64_t>(net.now().ns));
+    Bytes stamp = std::move(w).take();
+    std::copy(stamp.begin(), stamp.end(), payload.begin());
+    ++res.offered;
+    ++seq;
+    if (net.node(from).write(port, BytesView{payload}).ok()) ++res.accepted;
+    net.run_for(gap);
+  }
+  return res;
+}
+
+/// Drain in-flight traffic after the load stops.
+inline void settle(Network& net, SimTime t = SimTime::from_sec(2)) {
+  net.run_for(t);
+}
+
+}  // namespace rina::benchx
