@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 
@@ -18,6 +19,20 @@
 namespace rina::benchx {
 
 using node::Network;
+
+/// Scale factor for driven-load durations, from RINA_BENCH_DURATION_SCALE.
+/// CI smoke runs set e.g. 0.1 to finish fast; absolute rate columns are
+/// then distorted (the benches divide by their nominal duration), so
+/// scaled runs are pass/fail smoke only.
+inline double duration_scale() {
+  static const double s = [] {
+    const char* v = std::getenv("RINA_BENCH_DURATION_SCALE");
+    if (v == nullptr) return 1.0;
+    double d = std::atof(v);
+    return d > 0.0 ? d : 1.0;
+  }();
+  return s;
+}
 
 inline node::DifSpec mk_dif(const std::string& name,
                             std::vector<std::string> members) {
@@ -32,13 +47,25 @@ class Sink {
  public:
   explicit Sink(sim::Scheduler& sched) : sched_(sched) {}
 
+  /// Highest sequence number the sink will track. SDUs claiming more are
+  /// counted as corrupt and dropped instead of driving an unbounded
+  /// resize (a garbage 8-byte seq would otherwise ask for exabytes).
+  static constexpr std::uint64_t kMaxTrackedSeq = 1u << 24;
+
   void deliver(BytesView sdu) {
     ++sdus_;
     bytes_ += sdu.size();
-    if (sdu.size() < 16) return;
+    if (sdu.size() < 16) {
+      ++corrupt_;  // too short to carry the [seq][stamp] header
+      return;
+    }
     BufReader r(sdu);
     std::uint64_t seq = r.get_u64();
     auto sent_ns = static_cast<std::int64_t>(r.get_u64());
+    if (!r.ok() || seq >= kMaxTrackedSeq) {
+      ++corrupt_;
+      return;
+    }
     if (seen_.size() <= seq) seen_.resize(seq + 1, false);
     if (seen_[seq]) {
       ++dups_;
@@ -51,6 +78,7 @@ class Sink {
   [[nodiscard]] std::uint64_t sdus() const noexcept { return sdus_; }
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t duplicates() const noexcept { return dups_; }
+  [[nodiscard]] std::uint64_t corrupt() const noexcept { return corrupt_; }
   [[nodiscard]] std::uint64_t unique() const noexcept {
     std::uint64_t n = 0;
     for (bool b : seen_) n += b ? 1 : 0;
@@ -59,14 +87,14 @@ class Sink {
   [[nodiscard]] const Histogram& delay_ms() const noexcept { return delay_ms_; }
 
   void reset() {
-    sdus_ = bytes_ = dups_ = 0;
+    sdus_ = bytes_ = dups_ = corrupt_ = 0;
     seen_.clear();
     delay_ms_.clear();
   }
 
  private:
   sim::Scheduler& sched_;
-  std::uint64_t sdus_ = 0, bytes_ = 0, dups_ = 0;
+  std::uint64_t sdus_ = 0, bytes_ = 0, dups_ = 0, corrupt_ = 0;
   std::vector<bool> seen_;
   Histogram delay_ms_;
 };
@@ -119,7 +147,7 @@ inline LoadResult run_load(Network& net, const std::string& from,
                            SimTime duration, std::uint64_t first_seq = 0) {
   LoadResult res;
   Bytes payload(std::max<std::size_t>(sdu_bytes, 16), 0xCD);
-  SimTime end = net.now() + duration;
+  SimTime end = net.now() + SimTime::from_sec(duration.to_sec() * duration_scale());
   SimTime gap = SimTime::from_sec(1.0 / pps);
   std::uint64_t seq = first_seq;
   while (net.now() < end) {
@@ -138,7 +166,7 @@ inline LoadResult run_load(Network& net, const std::string& from,
 
 /// Drain in-flight traffic after the load stops.
 inline void settle(Network& net, SimTime t = SimTime::from_sec(2)) {
-  net.run_for(t);
+  net.run_for(SimTime::from_sec(t.to_sec() * duration_scale()));
 }
 
 }  // namespace rina::benchx

@@ -1,0 +1,186 @@
+// middlebox.cpp — NAT and Mobile-IP agents for the baseline stack.
+//
+// Mobile-IP control messages (proto kProtoMipCtl):
+//   u8 type (0 = registration request, 1 = relay to HA, 2 = ack)
+//   u32 home address | u32 extra (HA address on 0, care-of address on 1/2)
+
+#include "baseline/middlebox.hpp"
+
+namespace rina::baseline {
+
+namespace {
+constexpr std::uint8_t kRegRequest = 0;
+constexpr std::uint8_t kRegRelay = 1;
+constexpr std::uint8_t kRegAck = 2;
+constexpr SimTime kRegRetry = SimTime::from_ms(150);
+
+Bytes mip_msg(std::uint8_t type, IpAddr home, IpAddr extra) {
+  BufWriter w(9);
+  w.put_u8(type);
+  w.put_u32(home);
+  w.put_u32(extra);
+  return std::move(w).take();
+}
+}  // namespace
+
+// ============================== NatBox ==============================
+
+NatBox::NatBox(BNode& node, IpAddr public_addr, std::uint8_t proto)
+    : node_(node), pub_(public_addr), proto_(proto) {
+  node_.set_forward_hook([this](IpHeader& h, Bytes& payload, int) {
+    if (h.proto != proto_) return true;
+    BufReader r(BytesView{payload});
+    std::uint16_t sport = r.get_u16();
+    std::uint16_t dport = r.get_u16();
+    if (!r.ok()) return true;
+    if (h.dst == pub_) {
+      // Inbound: only a previously punched mapping gets through.
+      auto it = map_.find(dport);
+      if (it == map_.end()) {
+        stats_.inc("inbound_dropped");
+        return false;
+      }
+      h.dst = it->second;
+      stats_.inc("inbound_translated");
+      return true;
+    }
+    if (h.src != pub_ && !node_.owns(h.src)) {
+      // Outbound from the private side: punch and masquerade.
+      map_[sport] = h.src;
+      h.src = pub_;
+      stats_.inc("outbound_mapped");
+    }
+    return true;
+  });
+}
+
+// ============================= HomeAgent =============================
+
+HomeAgent::HomeAgent(BNode& node, IpAddr home_addr)
+    : node_(node), home_(home_addr) {
+  node_.set_forward_hook([this](IpHeader& h, Bytes& payload, int) {
+    if (h.dst != home_ || care_of_ == 0 || h.proto == kProtoMipCtl) return true;
+    // Tunnel the whole packet to the registered care-of address.
+    IpHeader outer;
+    outer.src = node_.primary_addr();
+    outer.dst = care_of_;
+    outer.proto = kProtoTunnel;
+    (void)node_.ip_send(outer, h.encode(BytesView{payload}));
+    stats_.inc("tunneled");
+    return false;
+  });
+  node_.register_proto(kProtoMipCtl, [this](const IpHeader&, BytesView p, int) {
+    BufReader r(p);
+    std::uint8_t type = r.get_u8();
+    IpAddr home = r.get_u32();
+    IpAddr coa = r.get_u32();
+    if (!r.ok() || type != kRegRelay || home != home_) return;
+    care_of_ = coa;
+    stats_.inc("registrations");
+    IpHeader h;
+    h.src = node_.primary_addr();
+    h.dst = coa;
+    h.proto = kProtoMipCtl;
+    (void)node_.ip_send(h, mip_msg(kRegAck, home, coa));
+  });
+}
+
+// ============================ ForeignAgent ============================
+
+ForeignAgent::ForeignAgent(BNode& node) : node_(node) {
+  node_.register_proto(kProtoMipCtl,
+                       [this](const IpHeader& ip, BytesView p, int in_if) {
+    BufReader r(p);
+    std::uint8_t type = r.get_u8();
+    IpAddr home = r.get_u32();
+    IpAddr extra = r.get_u32();
+    if (!r.ok()) return;
+    if (type == kRegRequest && in_if >= 0) {
+      // A mobile on one of our wires wants in: remember which wire and
+      // relay to its home agent with our address as care-of.
+      bindings_[home] = in_if;
+      stats_.inc("mobiles_attached");
+      IpHeader h;
+      h.src = node_.primary_addr();
+      h.dst = extra;  // home agent
+      h.proto = kProtoMipCtl;
+      (void)node_.ip_send(h, mip_msg(kRegRelay, home, node_.primary_addr()));
+    } else if (type == kRegAck) {
+      auto it = bindings_.find(home);
+      if (it == bindings_.end()) return;
+      IpHeader h;
+      h.src = node_.primary_addr();
+      h.dst = home;
+      h.proto = kProtoMipCtl;
+      (void)node_.send_on_iface(it->second, h, mip_msg(kRegAck, home, extra));
+      stats_.inc("acks_forwarded");
+    }
+    (void)ip;
+  });
+  node_.register_proto(kProtoTunnel, [this](const IpHeader&, BytesView p, int) {
+    auto inner = IpHeader::decode(p);
+    if (!inner.ok()) return;
+    auto it = bindings_.find(inner.value().first.dst);
+    if (it == bindings_.end()) {
+      stats_.inc("tunnel_no_binding");
+      return;
+    }
+    stats_.inc("decapsulated");
+    (void)node_.send_on_iface(it->second, inner.value().first,
+                              BytesView{inner.value().second});
+  });
+}
+
+// ============================ MobileClient ============================
+
+MobileClient::MobileClient(BNode& node, IpAddr home_addr)
+    : node_(node), home_(home_addr), alive_(std::make_shared<bool>(true)) {
+  node_.register_proto(kProtoMipCtl, [this](const IpHeader&, BytesView p, int) {
+    BufReader r(p);
+    std::uint8_t type = r.get_u8();
+    IpAddr home = r.get_u32();
+    if (!r.ok() || type != kRegAck || home != home_) return;
+    if (acked_) return;
+    acked_ = true;
+    stats_.inc("acks");
+    if (done_) {
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb();
+    }
+  });
+}
+
+void MobileClient::register_with(IpAddr fa_addr, IpAddr home_agent,
+                                 std::function<void()> done) {
+  fa_addr_ = fa_addr;
+  ha_addr_ = home_agent;
+  done_ = std::move(done);
+  acked_ = false;
+  ++epoch_;
+  attempt();
+}
+
+void MobileClient::attempt() {
+  if (acked_) return;
+  int ifidx = node_.iface_to_addr(fa_addr_);
+  if (ifidx >= 0) {
+    IpHeader h;
+    h.src = home_;
+    h.dst = fa_addr_;
+    h.proto = kProtoMipCtl;
+    stats_.inc("registrations_sent");
+    (void)node_.send_on_iface(ifidx, h, mip_msg(kRegRequest, home_, ha_addr_));
+  }
+  // Registration or ack may be lost mid-handoff: retry until acked or a
+  // newer registration supersedes this one.
+  std::uint64_t epoch = epoch_;
+  std::weak_ptr<bool> alive = alive_;
+  node_.net().sched().schedule_after(kRegRetry, [this, epoch, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    if (epoch == epoch_ && !acked_) attempt();
+  });
+}
+
+}  // namespace rina::baseline

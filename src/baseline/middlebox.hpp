@@ -1,0 +1,91 @@
+// middlebox.hpp — the boxes the current Internet bolts on to recover
+// what the architecture lost: NAT (private networks by translation) and
+// Mobile-IP agents (mobility by triangle routing through a home agent).
+// Both exist in the benches to be measured against DIFs that get the
+// same properties architecturally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "baseline/net.hpp"
+
+namespace rina::baseline {
+
+/// Network address translator on one node with a public address.
+/// Outbound flows punch mappings; unsolicited inbound is dropped cold.
+class NatBox {
+ public:
+  NatBox(BNode& node, IpAddr public_addr, std::uint8_t proto);
+  Stats& stats() { return stats_; }
+
+ private:
+  BNode& node_;
+  IpAddr pub_;
+  std::uint8_t proto_;
+  std::map<std::uint16_t, IpAddr> map_;  // transport port -> private addr
+  Stats stats_;
+};
+
+class ForeignAgent;
+
+/// Home agent: intercepts packets for the mobile's home address and
+/// tunnels them to the current care-of address. Every delivered packet
+/// pays the detour, forever.
+class HomeAgent {
+ public:
+  HomeAgent(BNode& node, IpAddr home_addr);
+  Stats& stats() { return stats_; }
+
+ private:
+  BNode& node_;
+  IpAddr home_;
+  IpAddr care_of_ = 0;
+  Stats stats_;
+};
+
+/// Foreign agent: relays registrations to the home agent and decapsulates
+/// the tunnel toward its attached mobiles.
+class ForeignAgent {
+ public:
+  explicit ForeignAgent(BNode& node);
+  Stats& stats() { return stats_; }
+  [[nodiscard]] BNode& bnode() { return node_; }
+  [[nodiscard]] IpAddr addr() const { return node_.primary_addr(); }
+
+ private:
+  BNode& node_;
+  std::map<IpAddr, int> bindings_;  // home addr -> iface toward the mobile
+  Stats stats_;
+};
+
+/// The mobile host's registration client.
+class MobileClient {
+ public:
+  MobileClient(BNode& node, IpAddr home_addr);
+
+  /// (Re-)register through the foreign agent whose address on our access
+  /// link is `fa_addr`; `done` fires when the home agent's ack arrives.
+  /// Retries on loss until a newer registration supersedes it.
+  void register_with(IpAddr fa_addr, IpAddr home_agent,
+                     std::function<void()> done);
+
+  Stats& stats() { return stats_; }
+
+ private:
+  void attempt();
+
+  BNode& node_;
+  IpAddr home_;
+  IpAddr fa_addr_ = 0;
+  IpAddr ha_addr_ = 0;
+  std::function<void()> done_;
+  std::uint64_t epoch_ = 0;
+  bool acked_ = false;
+  Stats stats_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace rina::baseline

@@ -1,0 +1,262 @@
+// net.hpp — the comparison strawman: a classic TCP/IP-style stack.
+//
+// Everything the paper criticizes is reproduced faithfully enough to
+// measure: global addresses exposed to applications, connections *named*
+// by (address, port) 5-tuples so they die with an interface, go-back-N
+// transport burning the bottleneck on retransmissions, liveness leaking
+// from every closed port (RST), and routing with one global scope.
+// The middleboxes bolted on top (NAT, Mobile-IP agents) live in
+// baseline/middlebox.hpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::baseline {
+
+using IpAddr = std::uint32_t;
+using SockId = std::uint32_t;
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint8_t kProtoSctp = 132;
+inline constexpr std::uint8_t kProtoMipCtl = 200;   // Mobile-IP signaling
+inline constexpr std::uint8_t kProtoTunnel = 201;   // IP-in-IP
+
+struct IpHeader {
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  std::uint8_t proto = 0;
+  std::uint8_t ttl = 64;
+
+  [[nodiscard]] Bytes encode(BytesView payload) const;
+  static Result<std::pair<IpHeader, Bytes>> decode(BytesView frame);
+};
+
+struct BLinkOpts {
+  double rate_bps = 1e9;
+  SimTime delay = SimTime::from_us(50);
+  std::size_t queue_pkts = 64;
+
+  [[nodiscard]] sim::LinkConfig to_config() const {
+    sim::LinkConfig cfg;
+    cfg.rate_bps = rate_bps;
+    cfg.delay = delay;
+    cfg.queue_pkts = queue_pkts;
+    return cfg;
+  }
+};
+
+class BaselineNet;
+class TransportStack;
+
+/// One IP host/router.
+class BNode {
+ public:
+  using ProtoHandler = std::function<void(const IpHeader&, BytesView, int)>;
+  /// Inspect/rewrite every received packet; return false to consume it.
+  using ForwardHook = std::function<bool(IpHeader&, Bytes&, int)>;
+
+  BNode(BaselineNet& net, std::string name);
+
+  BaselineNet& net() { return net_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] IpAddr primary_addr() const;
+  void add_alias(IpAddr a) { aliases_.insert(a); }
+  [[nodiscard]] bool owns(IpAddr a) const;
+  [[nodiscard]] std::size_t fib_size() const { return fib_.size(); }
+
+  void register_proto(std::uint8_t proto, ProtoHandler h) {
+    protos_[proto] = std::move(h);
+  }
+  void set_forward_hook(ForwardHook h) { hook_ = std::move(h); }
+
+  /// Route and transmit an IP packet originated here.
+  Result<void> ip_send(const IpHeader& h, Bytes payload);
+
+  /// Transmit directly on interface `ifidx`, bypassing the FIB (used by
+  /// the foreign agent, which knows which wire its mobile hangs off).
+  Result<void> send_on_iface(int ifidx, const IpHeader& h, BytesView payload);
+
+  /// Interface toward a directly-linked neighbor node, -1 if none is up.
+  [[nodiscard]] int iface_to(const std::string& neighbor) const;
+  /// Interface whose far end owns `peer_addr`, -1 if none is up.
+  [[nodiscard]] int iface_to_addr(IpAddr peer_addr) const;
+
+  Stats& stats() { return stats_; }
+
+ private:
+  friend class BaselineNet;
+
+  struct Iface {
+    sim::Link::Endpoint* ep = nullptr;
+    IpAddr addr = 0;
+    IpAddr peer_addr = 0;
+    std::string peer;       // neighbor node name
+    std::string domain;
+    sim::Link* link = nullptr;
+  };
+
+  void receive(int ifidx, Bytes&& frame);
+  void forward(IpHeader h, Bytes payload);
+
+  BaselineNet& net_;
+  std::string name_;
+  std::vector<Iface> ifaces_;
+  std::set<IpAddr> aliases_;
+  std::map<IpAddr, int> fib_;  // dest addr -> out iface
+  std::map<std::uint8_t, ProtoHandler> protos_;
+  ForwardHook hook_;
+  Stats stats_;
+};
+
+/// Go-back-N transport: TCP-flavored by default (dies with its interface),
+/// SCTP-flavored with `multihomed` (blind RTO-driven path failover).
+class TransportStack {
+ public:
+  struct Config {
+    std::uint8_t proto = kProtoTcp;
+    bool multihomed = false;
+  };
+
+  TransportStack(BNode& node, sim::Scheduler& sched, Config cfg);
+
+  Result<void> listen(std::uint16_t port, std::function<void(SockId)> on_accept);
+  SockId connect(IpAddr dst, std::uint16_t port, std::vector<IpAddr> alts,
+                 std::function<void(Result<SockId>)> cb);
+  Result<void> send(SockId s, BytesView data);
+  void set_on_data(SockId s, std::function<void(SockId, Bytes&&)> cb);
+  void set_on_closed(SockId s, std::function<void(SockId, const Error&)> cb);
+
+  Stats& stats() { return stats_; }
+
+ private:
+  enum class State { closed, syn_sent, established };
+
+  struct Sock {
+    SockId id = 0;
+    State state = State::closed;
+    std::uint16_t local_port = 0, remote_port = 0;
+    IpAddr remote = 0;
+    std::vector<IpAddr> paths;  // [0] = primary, then alternates
+    std::size_t path = 0;
+    // go-back-N sender
+    std::deque<Bytes> sendq;
+    std::deque<std::pair<std::uint64_t, Bytes>> unacked;
+    std::uint64_t next_seq = 1;
+    std::uint64_t recv_expected = 1;
+    int backoff = 0;
+    int consecutive_rtos = 0;
+    int syn_tries = 0;
+    std::uint64_t timer_epoch = 0;
+    std::function<void(Result<SockId>)> connect_cb;
+    std::function<void(SockId, Bytes&&)> on_data;
+    std::function<void(SockId, const Error&)> on_closed;
+  };
+
+  static constexpr std::size_t kWindow = 32;
+  static constexpr std::size_t kSendQ = 1024;
+  static constexpr int kMaxRtos = 6;       // TCP: then the connection dies
+  static constexpr int kFailoverRtos = 2;  // SCTP-like: then try the next PoA
+
+  void on_segment(const IpHeader& ip, BytesView seg);
+  void transmit_segment(Sock& s, std::uint8_t flags, std::uint64_t seq,
+                        std::uint64_t ack, BytesView payload);
+  void pump(Sock& s);
+  void arm_timer(Sock& s);
+  void on_rto(SockId id);
+  void close_sock(Sock& s, const Error& e);
+  Sock* find(SockId s);
+  Sock* match(std::uint16_t local_port, std::uint16_t remote_port, IpAddr remote);
+  SimTime current_rto(const Sock& s) const;
+
+  BNode& node_;
+  sim::Scheduler& sched_;
+  Config cfg_;
+  Stats stats_;
+  std::map<SockId, std::unique_ptr<Sock>> socks_;
+  std::map<std::uint16_t, std::function<void(SockId)>> listeners_;
+  SockId next_id_ = 1;
+  std::uint16_t next_ephemeral_ = 40000;
+  std::shared_ptr<bool> alive_;
+};
+
+class BaselineNet {
+ public:
+  explicit BaselineNet(std::uint64_t seed);
+  ~BaselineNet();
+  BaselineNet(const BaselineNet&) = delete;
+  BaselineNet& operator=(const BaselineNet&) = delete;
+
+  sim::Scheduler& sched() { return sched_; }
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+  void run_for(SimTime d) { sched_.run_for(d); }
+  template <typename Pred>
+  bool run_until(Pred&& pred, SimTime timeout) {
+    return sched_.run_until_pred(pred, sched_.now() + timeout);
+  }
+
+  BNode& add_node(const std::string& name, const std::string& domain = "core");
+  BNode& node(const std::string& name);
+
+  /// Returns the two freshly assigned interface addresses (a's, b's).
+  std::pair<IpAddr, IpAddr> add_link(const std::string& a, const std::string& b,
+                                     const BLinkOpts& opts = {},
+                                     const std::string& domain = "core");
+
+  Result<void> set_link_state(const std::string& a, const std::string& b, bool up);
+
+  /// Turn on global routing: flood LSAs (counted as routing_msgs_sent on
+  /// each flooding node) and install shortest-path FIBs, per domain.
+  /// Hosts flood too when `all_nodes`; otherwise only multi-link routers.
+  void enable_routing(bool all_nodes = false);
+
+  TransportStack& transport(const std::string& name,
+                            const TransportStack::Config& cfg = {});
+
+  std::uint64_t sum_counter(const std::string& name) const;
+
+ private:
+  friend class BNode;
+
+  struct LinkRec {
+    std::unique_ptr<sim::Link> link;
+    std::string a, b;
+    IpAddr addr_a = 0, addr_b = 0;
+    std::string domain;
+  };
+
+  void recompute_fibs();
+  void flood_lsas(const std::vector<std::string>& origins,
+                  const std::string& domain);
+  void on_topology_change(const std::string& a, const std::string& b,
+                          const std::string& domain);
+
+  sim::Scheduler sched_;
+  std::uint64_t seed_;
+  std::uint64_t link_seq_ = 0;
+  std::map<std::string, std::unique_ptr<BNode>> nodes_;
+  std::map<std::string, std::unique_ptr<TransportStack>> transports_;
+  std::vector<std::unique_ptr<LinkRec>> links_;
+  std::map<std::string, IpAddr> domain_next_;
+  std::vector<std::string> domain_order_;
+  bool routing_enabled_ = false;
+  bool routing_all_nodes_ = false;
+  bool recompute_scheduled_ = false;
+};
+
+}  // namespace rina::baseline

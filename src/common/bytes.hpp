@@ -1,0 +1,153 @@
+// bytes.hpp — byte buffers and bounded binary (de)serialization.
+//
+// Every wire format in the library (EFCP PCI, RIEP messages, baseline IP
+// frames) is built from BufWriter and parsed with BufReader. BufReader is
+// deliberately failure-latching: a short read yields zeros and flips ok()
+// to false instead of touching out-of-range memory, so corrupt frames are
+// cheap to reject after the fact.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rina {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over a contiguous byte range (pre-C++20 span).
+class BytesView {
+ public:
+  constexpr BytesView() noexcept = default;
+  constexpr BytesView(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  BytesView(const Bytes& b) noexcept : data_(b.data()), size_(b.size()) {}
+
+  [[nodiscard]] constexpr const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  constexpr std::uint8_t operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] constexpr BytesView subview(std::size_t off) const noexcept {
+    if (off >= size_) return {};
+    return BytesView{data_ + off, size_ - off};
+  }
+  [[nodiscard]] constexpr BytesView first(std::size_t n) const noexcept {
+    return BytesView{data_, n < size_ ? n : size_};
+  }
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(data_, data_ + size_); }
+
+  [[nodiscard]] const std::uint8_t* begin() const noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* end() const noexcept { return data_ + size_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView v) {
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+/// Bounds-checked big-endian reader. All getters return 0 / empty on
+/// underflow and latch ok() == false; callers check once at the end.
+class BufReader {
+ public:
+  explicit BufReader(BytesView v) noexcept : v_(v) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return v_.size() - pos_; }
+
+  std::uint8_t get_u8() noexcept { return get<std::uint8_t>(); }
+  std::uint16_t get_u16() noexcept { return get<std::uint16_t>(); }
+  std::uint32_t get_u32() noexcept { return get<std::uint32_t>(); }
+  std::uint64_t get_u64() noexcept { return get<std::uint64_t>(); }
+
+  BytesView get_bytes(std::size_t n) noexcept {
+    if (n > remaining()) {
+      ok_ = false;
+      pos_ = v_.size();
+      return {};
+    }
+    BytesView out{v_.data() + pos_, n};
+    pos_ += n;
+    return out;
+  }
+
+  std::string get_string(std::size_t n) { return to_string(get_bytes(n)); }
+
+  /// Length-prefixed (u16) string.
+  std::string get_lpstring() {
+    std::uint16_t n = get_u16();
+    return get_string(n);
+  }
+
+  /// Length-prefixed (u32) blob.
+  Bytes get_lpbytes() {
+    std::uint32_t n = get_u32();
+    return get_bytes(n).to_bytes();
+  }
+
+ private:
+  template <typename T>
+  T get() noexcept {
+    if (sizeof(T) > remaining()) {
+      ok_ = false;
+      pos_ = v_.size();
+      return T{0};
+    }
+    T out{0};
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      out = static_cast<T>(static_cast<T>(out << 8) | v_[pos_ + i]);
+    pos_ += sizeof(T);
+    return out;
+  }
+
+  BytesView v_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Growable big-endian writer; move out the buffer with take().
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put<std::uint16_t>(v); }
+  void put_u32(std::uint32_t v) { put<std::uint32_t>(v); }
+  void put_u64(std::uint64_t v) { put<std::uint64_t>(v); }
+
+  void put_bytes(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+  void put_lpstring(std::string_view s) {
+    put_u16(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void put_lpbytes(BytesView v) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    put_bytes(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put(T v) {
+    for (std::size_t i = sizeof(T); i-- > 0;)
+      buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+
+  Bytes buf_;
+};
+
+}  // namespace rina

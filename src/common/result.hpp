@@ -1,0 +1,113 @@
+// result.hpp — Result<T>: a value or an Error, never both.
+//
+// The library does not throw; every fallible call returns Result. Err codes
+// are deliberately coarse — fine-grained context goes in Error::msg.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rina {
+
+enum class Err {
+  none = 0,
+  timeout,
+  no_route,
+  refused,
+  flow_closed,
+  backpressure,
+  not_found,
+  already_exists,
+  auth_failed,
+  decode,
+  invalid,
+  down,
+};
+
+inline const char* err_name(Err e) {
+  switch (e) {
+    case Err::none: return "ok";
+    case Err::timeout: return "timeout";
+    case Err::no_route: return "no-route";
+    case Err::refused: return "refused";
+    case Err::flow_closed: return "flow-closed";
+    case Err::backpressure: return "backpressure";
+    case Err::not_found: return "not-found";
+    case Err::already_exists: return "already-exists";
+    case Err::auth_failed: return "auth-failed";
+    case Err::decode: return "decode-error";
+    case Err::invalid: return "invalid";
+    case Err::down: return "down";
+  }
+  return "unknown";
+}
+
+struct Error {
+  Err code = Err::none;
+  std::string msg;
+
+  Error() = default;
+  Error(Err c, std::string m = {}) : code(c), msg(std::move(m)) {}
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = err_name(code);
+    if (!msg.empty()) {
+      s += ": ";
+      s += msg;
+    }
+    return s;
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error e) : v_(std::in_place_index<1>, std::move(e)) {}
+  Result(Err code, std::string msg = {})
+      : v_(std::in_place_index<1>, Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<1>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error e) : err_(std::move(e)) {}
+  Result(Err code, std::string msg = {}) : err_(Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return err_.code == Err::none; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return err_;
+  }
+
+ private:
+  Error err_;
+};
+
+/// Convenience for the Result<void> success case: `return Ok();`
+inline Result<void> Ok() { return {}; }
+
+}  // namespace rina

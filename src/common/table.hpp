@@ -1,0 +1,74 @@
+// table.hpp — fixed-width ASCII tables for bench output.
+//
+// Every bench prints its figure/claim as one of these tables; the driver
+// scripts grep the titles, so print() keeps a stable layout: title line,
+// header, separator, rows.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rina {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> row) {
+    row.resize(columns_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Format a double with fixed precision.
+  static std::string num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+
+  /// Format any integral counter.
+  template <typename T>
+  static std::string integer(T v) {
+    return std::to_string(static_cast<long long unsigned>(v));
+  }
+
+  void print(const std::string& title) const {
+    std::vector<std::size_t> w(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) w[c] = columns_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < columns_.size(); ++c)
+        w[c] = std::max(w[c], row[c].size());
+
+    std::printf("\n== %s ==\n", title.c_str());
+    print_row(columns_, w);
+    std::string sep;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      sep += std::string(w[c] + 2, '-');
+      if (c + 1 < columns_.size()) sep += '+';
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row, w);
+    std::fflush(stdout);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& w) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line += std::string(w[c] - row[c].size() + 1, ' ');
+      if (c + 1 < row.size()) line += '|';
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rina

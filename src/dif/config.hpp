@@ -1,0 +1,59 @@
+// config.hpp — everything that makes one DIF *this* DIF: its name, the
+// service classes it offers, its admission (enrollment) policy, liveness
+// probing, scheduling discipline and address aggregation. Two DIFs with
+// different configs are different networks even over the same wires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/qos.hpp"
+#include "naming/names.hpp"
+#include "relay/forwarding.hpp"
+#include "sim/time.hpp"
+
+namespace rina::dif {
+
+struct DifConfig {
+  naming::DifName name;
+
+  /// Service classes on offer. Empty = the default pair (reliable id 0,
+  /// unreliable id 1), installed at DIF build time.
+  std::vector<flow::QosCube> cubes;
+
+  /// Admission policy: "none", "password", "psk-challenge".
+  std::string auth_policy = "none";
+  std::string auth_secret;
+
+  /// Liveness probing of adjacencies (needed when the lower level cannot
+  /// signal carrier loss, i.e. for overlay DIFs).
+  bool keepalive_enabled = false;
+  SimTime keepalive_interval = SimTime::from_ms(100);
+  int keepalive_misses = 3;
+
+  /// RMT egress discipline.
+  relay::RmtSched rmt_sched = relay::RmtSched::fifo;
+  std::size_t rmt_queue_pdus = 512;
+
+  /// Route on region prefixes instead of full addresses (one FIB entry
+  /// per foreign region).
+  bool aggregate_regions = false;
+};
+
+inline std::vector<flow::QosCube> default_cubes() {
+  flow::QosCube rel;
+  rel.id = 0;
+  rel.name = "reliable";
+  rel.efcp_policy = "reliable";
+  rel.reliable = true;
+  rel.in_order = true;
+  flow::QosCube unrel;
+  unrel.id = 1;
+  unrel.name = "unreliable";
+  unrel.efcp_policy = "unreliable";
+  unrel.reliable = false;
+  unrel.in_order = false;
+  return {rel, unrel};
+}
+
+}  // namespace rina::dif

@@ -1,0 +1,323 @@
+// connection.hpp — EFCP: the error- and flow-control protocol, one
+// instance per flow endpoint.
+//
+// The same machine runs at every rank of the stack; only its *policies*
+// change (the paper's separation of mechanism and policy). A hop DIF over
+// lossy radio runs the "wireless-hop" policy (tiny RTO, local recovery in
+// microseconds); a host-to-host DIF runs the default policy with RTTs
+// measured end-to-end. Flow control is a fixed window plus a bounded
+// send queue: when both fill, write_sdu() refuses — backpressure to the
+// layer above instead of loss below.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "efcp/pci.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::efcp {
+
+struct EfcpPolicies {
+  bool reliable = true;
+  bool in_order = true;
+  std::size_t window = 256;       // max PDUs in flight
+  std::size_t send_queue = 256;   // PDUs held while the window is closed
+  std::size_t reorder_buf = 1024; // out-of-order PDUs held at the receiver
+  SimTime initial_rto = SimTime::from_ms(100);
+  SimTime min_rto = SimTime::from_ms(20);
+  SimTime max_rto = SimTime::from_sec(2);
+  int fast_retx_dups = 3;
+
+  static EfcpPolicies from_policy_name(const std::string& name) {
+    EfcpPolicies p;
+    if (name == "unreliable") {
+      p.reliable = false;
+      p.in_order = false;
+    } else if (name == "wireless-hop") {
+      // Scope-local recovery: the RTT is one radio hop, so the timers can
+      // be three orders of magnitude tighter than an end-to-end policy.
+      p.initial_rto = SimTime::from_ms(2);
+      p.min_rto = SimTime::from_us(500);
+      p.max_rto = SimTime::from_ms(50);
+    }
+    return p;
+  }
+};
+
+struct ConnectionId {
+  naming::Address src;
+  naming::Address dst;
+  CepId src_cep = 0;
+  CepId dst_cep = 0;
+  QosId qos = 0;
+};
+
+class Connection {
+ public:
+  using SendFn = std::function<void(Pdu&&)>;
+  using DeliverFn = std::function<void(Bytes&&)>;
+
+  Connection(sim::Scheduler& sched, const EfcpPolicies& pol, ConnectionId id,
+             SendFn send, DeliverFn deliver)
+      : sched_(sched),
+        pol_(pol),
+        id_(id),
+        send_(std::move(send)),
+        deliver_(std::move(deliver)),
+        rto_(pol.initial_rto),
+        alive_(std::make_shared<bool>(true)) {}
+
+  ~Connection() { *alive_ = false; }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] const ConnectionId& id() const { return id_; }
+  Stats& stats() { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Accept an SDU from the layer above. Err::backpressure when the
+  /// window and the send queue are both full — the caller must retry.
+  Result<void> write_sdu(BytesView sdu) {
+    if (sdu.size() > kMaxSduBytes)
+      return {Err::invalid, "SDU exceeds the PCI length field (no fragmentation)"};
+    if (!pol_.reliable) {
+      stats_.inc("pdus_tx");
+      send_(make_data(next_seq_++, sdu.to_bytes(), false));
+      return Ok();
+    }
+    if (inflight_.size() >= pol_.window) {
+      if (sendq_.size() >= pol_.send_queue) {
+        stats_.inc("write_refused");
+        return {Err::backpressure, "EFCP window and send queue full"};
+      }
+      sendq_.push_back(sdu.to_bytes());
+      return Ok();
+    }
+    transmit_new(sdu.to_bytes());
+    return Ok();
+  }
+
+  /// A PDU for this connection arrived from the RMT.
+  void on_pdu(const Pci& pci, BytesView payload) {
+    switch (pci.type) {
+      case PduType::data:
+        on_data(pci, payload);
+        break;
+      case PduType::ack:
+        on_ack(pci.seq);
+        break;
+      default:
+        break;
+    }
+  }
+
+  [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
+  [[nodiscard]] std::size_t queued() const { return sendq_.size(); }
+
+ private:
+  struct Unacked {
+    Bytes payload;
+    SimTime sent;
+    bool retransmitted = false;
+  };
+
+  Pdu make_data(std::uint64_t seq, Bytes payload, bool retx) {
+    Pdu p;
+    p.pci.type = PduType::data;
+    p.pci.flags = kFlagFirstFrag | kFlagLastFrag;
+    if (retx) p.pci.flags |= kFlagRetransmit;
+    p.pci.qos_id = id_.qos;
+    p.pci.dest = id_.dst;
+    p.pci.src = id_.src;
+    p.pci.dest_cep = id_.dst_cep;
+    p.pci.src_cep = id_.src_cep;
+    p.pci.seq = seq;
+    p.payload = std::move(payload);
+    return p;
+  }
+
+  void transmit_new(Bytes payload) {
+    std::uint64_t seq = next_seq_++;
+    inflight_[seq] = Unacked{payload, sched_.now(), false};
+    stats_.inc("pdus_tx");
+    send_(make_data(seq, std::move(payload), false));
+    if (inflight_.size() == 1) arm_timer();
+  }
+
+  // ---- sender side ----
+
+  void on_ack(std::uint64_t cum) {
+    stats_.inc("acks_rx");
+    if (cum > acked_) {
+      for (auto it = inflight_.begin();
+           it != inflight_.end() && it->first < cum;) {
+        if (!it->second.retransmitted) sample_rtt(sched_.now() - it->second.sent);
+        it = inflight_.erase(it);
+      }
+      acked_ = cum;
+      dup_acks_ = 0;
+      backoff_ = 0;
+      while (!sendq_.empty() && inflight_.size() < pol_.window) {
+        Bytes next = std::move(sendq_.front());
+        sendq_.pop_front();
+        transmit_new(std::move(next));
+      }
+      arm_timer();
+      return;
+    }
+    // Duplicate cumulative ack: the receiver is missing `cum`.
+    if (++dup_acks_ >= pol_.fast_retx_dups) {
+      dup_acks_ = 0;
+      retransmit_oldest(/*fast=*/true);
+    }
+  }
+
+  void retransmit_oldest(bool fast) {
+    auto it = inflight_.begin();
+    if (it == inflight_.end()) return;
+    it->second.retransmitted = true;
+    stats_.inc("pdus_retx");
+    if (fast) stats_.inc("fast_retx");
+    send_(make_data(it->first, it->second.payload, true));
+  }
+
+  void on_rto() {
+    if (inflight_.empty()) return;
+    // Repair conservatively: resend only the oldest hole. A spurious
+    // timeout (RTT inflated by queueing) then costs one duplicate, not a
+    // whole-window storm; fast retransmit carries the common case.
+    retransmit_oldest(false);
+    stats_.inc("rto_fired");
+    if (backoff_ < 6) ++backoff_;
+    arm_timer();
+  }
+
+  void arm_timer() {
+    ++timer_epoch_;
+    if (inflight_.empty()) return;
+    SimTime t = rto_;
+    for (int i = 0; i < backoff_; ++i) t = t + t;
+    if (pol_.max_rto < t) t = pol_.max_rto;
+    std::uint64_t epoch = timer_epoch_;
+    std::weak_ptr<bool> alive = alive_;
+    sched_.schedule_after(t, [this, epoch, alive] {
+      auto a = alive.lock();
+      if (!a || !*a || epoch != timer_epoch_) return;
+      on_rto();
+    });
+  }
+
+  void sample_rtt(SimTime rtt) {
+    if (srtt_.ns == 0) {
+      srtt_ = rtt;
+      rttvar_ = SimTime{rtt.ns / 2};
+    } else {
+      std::int64_t err = rtt.ns - srtt_.ns;
+      srtt_.ns += err / 8;
+      rttvar_.ns += ((err < 0 ? -err : err) - rttvar_.ns) / 4;
+    }
+    std::int64_t rto = srtt_.ns + 4 * rttvar_.ns;
+    if (rto < pol_.min_rto.ns) rto = pol_.min_rto.ns;
+    if (rto > pol_.max_rto.ns) rto = pol_.max_rto.ns;
+    rto_ = SimTime{rto};
+  }
+
+  // ---- receiver side ----
+
+  void on_data(const Pci& pci, BytesView payload) {
+    stats_.inc("pdus_rx");
+    if (!pol_.reliable) {
+      stats_.inc("sdus_delivered");
+      deliver_(payload.to_bytes());
+      return;
+    }
+    if (pci.seq < next_expected_) {
+      stats_.inc("pdus_dup");
+    } else if (pci.seq == next_expected_) {
+      ++next_expected_;
+      stats_.inc("sdus_delivered");
+      deliver_(payload.to_bytes());
+      if (pol_.in_order) {
+        // Drain any contiguous run that was waiting on this PDU.
+        for (auto it = reorder_.begin();
+             it != reorder_.end() && it->first == next_expected_;) {
+          ++next_expected_;
+          stats_.inc("sdus_delivered");
+          deliver_(std::move(it->second));
+          it = reorder_.erase(it);
+        }
+      } else {
+        // Unordered: these were delivered on arrival; advance the
+        // cumulative-ack edge over them.
+        while (delivered_ooo_.erase(next_expected_) != 0) ++next_expected_;
+      }
+    } else if (!pol_.in_order) {
+      // Reliable but unordered: deliver immediately, remember the seq so
+      // retransmissions are recognized and the ack edge can advance.
+      if (delivered_ooo_.count(pci.seq) != 0) {
+        stats_.inc("pdus_dup");
+      } else if (delivered_ooo_.size() < pol_.reorder_buf) {
+        delivered_ooo_.insert(pci.seq);
+        stats_.inc("sdus_delivered");
+        deliver_(payload.to_bytes());
+      } else {
+        stats_.inc("reorder_drops");
+      }
+    } else if (reorder_.size() < pol_.reorder_buf) {
+      reorder_.emplace(pci.seq, payload.to_bytes());
+    } else {
+      stats_.inc("reorder_drops");
+    }
+    send_ack();
+  }
+
+  void send_ack() {
+    Pdu p;
+    p.pci.type = PduType::ack;
+    p.pci.qos_id = id_.qos;
+    p.pci.dest = id_.dst;
+    p.pci.src = id_.src;
+    p.pci.dest_cep = id_.dst_cep;
+    p.pci.src_cep = id_.src_cep;
+    p.pci.seq = next_expected_;
+    stats_.inc("acks_tx");
+    send_(std::move(p));
+  }
+
+  sim::Scheduler& sched_;
+  EfcpPolicies pol_;
+  ConnectionId id_;
+  SendFn send_;
+  DeliverFn deliver_;
+  Stats stats_;
+
+  // Sender.
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t acked_ = 0;
+  std::map<std::uint64_t, Unacked> inflight_;
+  std::deque<Bytes> sendq_;
+  int dup_acks_ = 0;
+  int backoff_ = 0;
+  SimTime rto_;
+  SimTime srtt_{};
+  SimTime rttvar_{};
+  std::uint64_t timer_epoch_ = 0;
+
+  // Receiver.
+  std::uint64_t next_expected_ = 0;
+  std::map<std::uint64_t, Bytes> reorder_;        // in-order: held-back SDUs
+  std::set<std::uint64_t> delivered_ooo_;         // unordered: dedup/ack edge
+
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace rina::efcp

@@ -1,0 +1,103 @@
+// pci.hpp — Protocol-Control-Information: the one header format of the
+// stack. Every DIF at every rank carries the same PCI; there is no layer
+// cake of different headers, only the same IPC header repeated.
+//
+// Wire layout (big-endian, 28 bytes fixed + payload):
+//   u8  version      u8  type         u8  flags        u8  qos_id
+//   u16 dest.region  u16 dest.node    u16 src.region   u16 src.node
+//   u16 dest_cep     u16 src_cep      u8  ttl          u8  reserved
+//   u64 seq          u16 payload_len  payload
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "efcp/types.hpp"
+#include "naming/names.hpp"
+
+namespace rina::efcp {
+
+enum class PduType : std::uint8_t {
+  data = 1,
+  ack = 2,
+  mgmt = 3,
+  keepalive = 4,
+};
+
+inline constexpr std::uint8_t kFlagFirstFrag = 0x01;
+inline constexpr std::uint8_t kFlagLastFrag = 0x02;
+inline constexpr std::uint8_t kFlagRetransmit = 0x04;
+inline constexpr std::uint8_t kPciVersion = 1;
+inline constexpr std::uint8_t kDefaultTtl = 64;
+// 4 (ver/type/flags/qos) + 8 (addresses) + 4 (CEPs) + 2 (ttl/reserved)
+// + 8 (seq) + 2 (payload length).
+inline constexpr std::size_t kPciBytes = 28;
+// Largest payload the u16 length field can carry; there is no
+// fragmentation, so writers must refuse anything bigger.
+inline constexpr std::size_t kMaxSduBytes = 65535;
+
+struct Pci {
+  PduType type = PduType::data;
+  std::uint8_t flags = kFlagFirstFrag | kFlagLastFrag;
+  QosId qos_id = 0;
+  naming::Address dest;
+  naming::Address src;
+  CepId dest_cep = 0;
+  CepId src_cep = 0;
+  std::uint8_t ttl = kDefaultTtl;
+  std::uint64_t seq = 0;
+};
+
+struct Pdu {
+  Pci pci;
+  Bytes payload;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(kPciBytes + payload.size());
+    w.put_u8(kPciVersion);
+    w.put_u8(static_cast<std::uint8_t>(pci.type));
+    w.put_u8(pci.flags);
+    w.put_u8(pci.qos_id);
+    w.put_u16(pci.dest.region);
+    w.put_u16(pci.dest.node);
+    w.put_u16(pci.src.region);
+    w.put_u16(pci.src.node);
+    w.put_u16(pci.dest_cep);
+    w.put_u16(pci.src_cep);
+    w.put_u8(pci.ttl);
+    w.put_u8(0);  // reserved
+    w.put_u64(pci.seq);
+    w.put_u16(static_cast<std::uint16_t>(payload.size()));
+    w.put_bytes(BytesView{payload});
+    return std::move(w).take();
+  }
+
+  static Result<Pdu> decode(BytesView wire) {
+    BufReader r(wire);
+    Pdu p;
+    std::uint8_t version = r.get_u8();
+    auto type = r.get_u8();
+    p.pci.flags = r.get_u8();
+    p.pci.qos_id = r.get_u8();
+    p.pci.dest.region = r.get_u16();
+    p.pci.dest.node = r.get_u16();
+    p.pci.src.region = r.get_u16();
+    p.pci.src.node = r.get_u16();
+    p.pci.dest_cep = r.get_u16();
+    p.pci.src_cep = r.get_u16();
+    p.pci.ttl = r.get_u8();
+    (void)r.get_u8();
+    p.pci.seq = r.get_u64();
+    std::uint16_t len = r.get_u16();
+    if (!r.ok()) return {Err::decode, "short PCI"};
+    if (version != kPciVersion) return {Err::decode, "bad PCI version"};
+    if (type < 1 || type > 4) return {Err::decode, "bad PDU type"};
+    p.pci.type = static_cast<PduType>(type);
+    if (len != r.remaining()) return {Err::decode, "payload length mismatch"};
+    p.payload = r.get_bytes(len).to_bytes();
+    return p;
+  }
+};
+
+}  // namespace rina::efcp

@@ -1,0 +1,16 @@
+// types.hpp — small EFCP identifier types, split out so the flow layer
+// can talk about QoS ids without pulling in the PCI codec.
+#pragma once
+
+#include <cstdint>
+
+namespace rina::efcp {
+
+/// Connection-endpoint id: demultiplexes PDUs to EFCP connections within
+/// one IPC process. Allocated per IPCP, meaningful only inside its DIF.
+using CepId = std::uint16_t;
+
+/// QoS-cube id carried in the PCI; doubles as the RMT scheduling class.
+using QosId = std::uint8_t;
+
+}  // namespace rina::efcp

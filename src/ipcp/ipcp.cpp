@@ -1,0 +1,1302 @@
+// ipcp.cpp — the IPC process implementation: management plane (hello,
+// enrollment, directory and link-state dissemination as RIEP objects),
+// flow allocation, and the RMT datapath.
+
+#include "ipcp/ipcp.hpp"
+
+#include <algorithm>
+
+namespace rina::ipcp {
+
+namespace {
+
+// Management object classes: one RIEP dispatch table instead of a zoo of
+// protocols.
+constexpr const char* kClsHello = "Hello";
+constexpr const char* kClsKeepAlive = "KeepAlive";
+constexpr const char* kClsJoinReq = "JoinReq";
+constexpr const char* kClsJoinChallenge = "JoinChallenge";
+constexpr const char* kClsJoinResp = "JoinResp";
+constexpr const char* kClsJoinAccept = "JoinAccept";
+constexpr const char* kClsJoinReject = "JoinReject";
+constexpr const char* kClsBye = "Bye";
+constexpr const char* kClsLsu = "LSU";
+constexpr const char* kClsDirUpd = "DirUpd";
+constexpr const char* kClsDirSync = "DirSync";
+constexpr const char* kClsFlowReq = "FlowReq";
+constexpr const char* kClsFlowResp = "FlowResp";
+constexpr const char* kClsFlowTeardown = "FlowTeardown";
+
+constexpr SimTime kHelloRetry = SimTime::from_ms(200);
+constexpr SimTime kJoinTimeout = SimTime::from_ms(600);
+constexpr SimTime kJoinRetryGap = SimTime::from_ms(120);
+constexpr SimTime kLsuDebounce = SimTime::from_ms(1);
+constexpr SimTime kSpfDebounce = SimTime::from_ms(8);
+constexpr SimTime kDrainRetry = SimTime::from_us(200);
+// Directory lookups are local to the IPCP's replica, so polling for an
+// entry (or for our own enrollment) costs nothing on the wire.
+constexpr SimTime kAllocRetry = SimTime::from_ms(10);
+constexpr SimTime kAllocResend = SimTime::from_ms(500);
+constexpr SimTime kAllocDeadline = SimTime::from_sec(8);
+constexpr int kMaxJoinAttempts = 3;
+constexpr std::uint64_t kHelloNonce = 0x48454c4c4f754c4cULL;
+// Keep management snapshots comfortably inside the PCI's u16 payload
+// length (there is no fragmentation); overflow is truncated + counted.
+constexpr std::size_t kSnapshotBudget = 56000;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void put_addr(BufWriter& w, naming::Address a) { w.put_u32(a.key()); }
+
+naming::Address get_addr(BufReader& r) {
+  std::uint32_t k = r.get_u32();
+  return naming::Address{static_cast<std::uint16_t>(k >> 16),
+                         static_cast<std::uint16_t>(k & 0xFFFF)};
+}
+
+void put_app(BufWriter& w, const naming::AppName& a) {
+  w.put_lpstring(a.process);
+  w.put_lpstring(a.instance);
+}
+
+naming::AppName get_app(BufReader& r) {
+  naming::AppName a;
+  a.process = r.get_lpstring();
+  a.instance = r.get_lpstring();
+  return a;
+}
+
+}  // namespace
+
+// ============================ Ipcp core ============================
+
+Ipcp::Ipcp(IpcpHost& host, const dif::DifConfig& cfg, std::uint32_t dif_id)
+    : host_(host),
+      cfg_(cfg),
+      dif_id_(dif_id),
+      rmt_(*this),
+      fa_(*this),
+      enrollment_(*this),
+      alive_token_(std::make_shared<bool>(true)) {
+  if (cfg_.cubes.empty()) cfg_.cubes = dif::default_cubes();
+}
+
+std::uint64_t Ipcp::counter_sum(const std::string& name) const {
+  std::uint64_t n = stats_.get(name) + rmt_.stats_.get(name) +
+                    fa_.stats_.get(name) + enrollment_.stats_.get(name);
+  for (const auto& [port, rec] : fa_.flows_)
+    if (rec->conn) n += rec->conn->stats().get(name);
+  return n;
+}
+
+void Ipcp::bootstrap_member(naming::Address addr) {
+  address_ = addr;
+  enrolled_ = true;
+  rib_.upsert("/dif/name", "DifName", to_bytes(cfg_.name.str()));
+  rib_.upsert("/dif/address", "Address", to_bytes(addr.to_string()));
+  if (cfg_.keepalive_enabled && !keepalive_running_) {
+    keepalive_running_ = true;
+    keepalive_tick();
+  }
+}
+
+std::uint64_t Ipcp::auth_token(std::uint64_t nonce) const {
+  return splitmix64(nonce ^ fnv1a(cfg_.auth_secret));
+}
+
+bool Ipcp::port_up(relay::PortIndex idx) const {
+  if (idx >= ports_.size()) return false;
+  const Port& p = ports_[idx];
+  return p.carrier && p.alive;
+}
+
+relay::PortIndex Ipcp::add_port(PortInit init) {
+  Port p;
+  p.tx = std::move(init.tx);
+  p.is_wire = init.is_wire;
+  p.last_heard = sched().now();
+  ports_.push_back(std::move(p));
+  return static_cast<relay::PortIndex>(ports_.size() - 1);
+}
+
+void Ipcp::start_port(relay::PortIndex idx) {
+  if (idx >= ports_.size()) return;
+  ports_[idx].last_heard = sched().now();
+  send_hello(idx);
+}
+
+void Ipcp::send_hello(relay::PortIndex idx) {
+  if (!enrolled_) return;
+  Port& p = ports_[idx];
+  p.hello_sent = true;
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::create;
+  m.obj_name = "/dif/members/" + host_.node_name();
+  m.obj_class = kClsHello;
+  BufWriter w(32);
+  put_addr(w, address_);
+  w.put_u64(auth_token(kHelloNonce));
+  w.put_lpstring(host_.node_name());
+  m.value = std::move(w).take();
+  send_mgmt(idx, m);
+  // A lost hello would strand the adjacency half-open; repeat until the
+  // peer is heard from.
+  std::weak_ptr<bool> alive = alive_token_;
+  sched().schedule_after(kHelloRetry, [this, idx, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    Port& pp = ports_[idx];
+    if (enrolled_ && pp.carrier && !pp.peer_enrolled) send_hello(idx);
+  });
+}
+
+void Ipcp::set_port_carrier(relay::PortIndex idx, bool up) {
+  if (idx >= ports_.size()) return;
+  Port& p = ports_[idx];
+  if (p.carrier == up) return;
+  p.carrier = up;
+  if (up) {
+    p.alive = true;
+    p.last_heard = sched().now();
+  }
+  adjacency_changed();
+}
+
+void Ipcp::port_ready(relay::PortIndex idx) { rmt_.drain(idx); }
+
+void Ipcp::on_port_frame(relay::PortIndex idx, BytesView frame) {
+  if (idx >= ports_.size()) return;
+  auto decoded = efcp::Pdu::decode(frame);
+  if (!decoded.ok()) {
+    rmt_.stats_.inc("drop_decode");
+    return;
+  }
+  efcp::Pdu& pdu = decoded.value();
+  Port& p = ports_[idx];
+  p.last_heard = sched().now();
+
+  if (pdu.pci.type == efcp::PduType::mgmt && pdu.pci.dest.is_null()) {
+    handle_mgmt(idx, pdu);
+    return;
+  }
+  // Everything with an address in it crosses the membership gate: a port
+  // whose peer never authenticated gets silence, not errors (§6.1).
+  if (!p.peer_enrolled) {
+    rmt_.stats_.inc("drop_unenrolled_port");
+    return;
+  }
+  if (pdu.pci.dest == address_ && !address_.is_null()) {
+    deliver_local(pdu);
+    return;
+  }
+  // Relay: not ours, forward inside the DIF.
+  if (pdu.pci.ttl == 0) {
+    rmt_.stats_.inc("drop_ttl");
+    return;
+  }
+  --pdu.pci.ttl;
+  auto out = rmt_.fib_.lookup(pdu.pci.dest,
+                              [this](relay::PortIndex i) { return port_up(i); });
+  if (!out) {
+    rmt_.stats_.inc("drop_no_route");
+    return;
+  }
+  rmt_.stats_.inc("relayed");
+  rmt_.egress(*out, std::move(pdu));
+}
+
+void Ipcp::deliver_local(const efcp::Pdu& pdu) {
+  if (pdu.pci.type == efcp::PduType::mgmt) {
+    auto m = rib::RiepMessage::decode(BytesView{pdu.payload});
+    if (!m.ok()) {
+      rmt_.stats_.inc("drop_decode");
+      return;
+    }
+    const rib::RiepMessage& msg = m.value();
+    if (msg.obj_class == kClsFlowReq) {
+      fa_.on_flow_req(pdu.pci, msg);
+    } else if (msg.obj_class == kClsFlowResp) {
+      fa_.on_flow_resp(pdu.pci, msg);
+    } else if (msg.obj_class == kClsFlowTeardown) {
+      fa_.on_flow_teardown(pdu.pci, msg);
+    }
+    return;
+  }
+  // Data / ack: demultiplex on the destination CEP.
+  auto it = fa_.by_cep_.find(pdu.pci.dest_cep);
+  if (it == fa_.by_cep_.end()) {
+    rmt_.stats_.inc("drop_no_cep");
+    return;
+  }
+  auto* rec = fa_.by_port(it->second);
+  if (rec == nullptr || !rec->conn) {
+    rmt_.stats_.inc("drop_no_cep");
+    return;
+  }
+  rec->conn->on_pdu(pdu.pci, BytesView{pdu.payload});
+}
+
+// ---------------------- management dispatch ----------------------
+
+void Ipcp::send_mgmt(relay::PortIndex idx, const rib::RiepMessage& m) {
+  if (idx >= ports_.size()) return;
+  if (m.obj_class == kClsHello) {
+    stats_.inc("hellos_sent");
+  } else if (m.obj_class == kClsKeepAlive) {
+    stats_.inc("keepalives_sent");
+  } else if (m.obj_class == kClsLsu) {
+    stats_.inc("lsus_flooded");
+  } else {
+    stats_.inc("riep_sent");
+    if (m.obj_class == kClsJoinReq) enrollment_.stats_.inc("join_requests_sent");
+  }
+  efcp::Pdu pdu;
+  pdu.pci.type = efcp::PduType::mgmt;
+  pdu.pci.src = address_;
+  pdu.pci.dest = naming::Address{};  // port-local
+  pdu.payload = m.encode();
+  rmt_.egress(idx, std::move(pdu));
+}
+
+void Ipcp::send_routed_mgmt(naming::Address dest, const rib::RiepMessage& m) {
+  stats_.inc("riep_sent");
+  efcp::Pdu pdu;
+  pdu.pci.type = efcp::PduType::mgmt;
+  pdu.pci.src = address_;
+  pdu.pci.dest = dest;
+  pdu.payload = m.encode();
+  rmt_.send(std::move(pdu));
+}
+
+void Ipcp::handle_mgmt(relay::PortIndex idx, const efcp::Pdu& pdu) {
+  auto decoded = rib::RiepMessage::decode(BytesView{pdu.payload});
+  if (!decoded.ok()) {
+    rmt_.stats_.inc("drop_decode");
+    return;
+  }
+  const rib::RiepMessage& m = decoded.value();
+  const std::string& cls = m.obj_class;
+  Port& p = ports_[idx];
+
+  if (cls == kClsHello) {
+    handle_hello(idx, m);
+  } else if (cls == kClsJoinReq || cls == kClsJoinChallenge ||
+             cls == kClsJoinResp || cls == kClsJoinAccept ||
+             cls == kClsJoinReject) {
+    handle_join_msg(idx, m);
+  } else if (!p.peer_enrolled) {
+    // Non-members only get to talk enrollment.
+    rmt_.stats_.inc("drop_unenrolled_port");
+  } else if (cls == kClsKeepAlive) {
+    handle_keepalive(idx);
+  } else if (cls == kClsBye) {
+    handle_bye(idx);
+  } else if (cls == kClsLsu) {
+    handle_lsu(idx, m);
+  } else if (cls == kClsDirUpd) {
+    handle_dir_update(idx, m);
+  } else if (cls == kClsDirSync) {
+    handle_dir_sync(m);
+  }
+}
+
+void Ipcp::handle_hello(relay::PortIndex idx, const rib::RiepMessage& m) {
+  if (!enrolled_) return;
+  Port& p = ports_[idx];
+  BufReader r(BytesView{m.value});
+  naming::Address addr = get_addr(r);
+  std::uint64_t token = r.get_u64();
+  (void)r.get_lpstring();
+  if (!r.ok()) return;
+  if (cfg_.auth_policy != "none" && token != auth_token(kHelloNonce)) {
+    stats_.inc("hello_rejected");
+    return;
+  }
+  bool changed = !p.peer_enrolled || p.peer != addr;
+  p.peer = addr;
+  p.peer_enrolled = true;
+  p.alive = true;
+  if (!p.hello_sent) send_hello(idx);
+  if (changed) {
+    // A fresh adjacency: hand the peer what the flood could not have
+    // reached it with.
+    send_dir_sync(idx);
+    adjacency_changed();
+  }
+}
+
+void Ipcp::handle_keepalive(relay::PortIndex idx) {
+  Port& p = ports_[idx];
+  if (!p.alive) {
+    p.alive = true;
+    adjacency_changed();
+  }
+}
+
+void Ipcp::handle_bye(relay::PortIndex idx) {
+  Port& p = ports_[idx];
+  if (!p.peer.is_null()) dir_.remove_at(p.peer);
+  p.peer_enrolled = false;
+  adjacency_changed();
+}
+
+// ---------------------------- routing ----------------------------
+
+std::map<naming::Address, std::vector<relay::PortIndex>> Ipcp::live_neighbors()
+    const {
+  std::map<naming::Address, std::vector<relay::PortIndex>> out;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const Port& p = ports_[i];
+    if (usable(p)) out[p.peer].push_back(static_cast<relay::PortIndex>(i));
+  }
+  return out;
+}
+
+void Ipcp::rebuild_neighbor_ports() {
+  // Step-2 bindings: *every* known attachment to a neighbor, live or not —
+  // liveness is checked per-PDU at lookup time (late binding).
+  std::map<naming::Address, std::vector<relay::PortIndex>> all;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const Port& p = ports_[i];
+    if (p.peer_enrolled && !p.peer.is_null())
+      all[p.peer].push_back(static_cast<relay::PortIndex>(i));
+  }
+  for (auto& [addr, ports] : all) rmt_.fib_.set_neighbor_ports(addr, ports);
+}
+
+void Ipcp::adjacency_changed() {
+  if (departed_) return;
+  rebuild_neighbor_ports();
+  std::vector<naming::Address> now_set;
+  for (const auto& [addr, ports] : live_neighbors()) now_set.push_back(addr);
+  schedule_spf();
+  if (now_set == last_neighbor_set_) return;
+  last_neighbor_set_ = now_set;
+  if (lsu_scheduled_ || !enrolled_) return;
+  lsu_scheduled_ = true;
+  std::weak_ptr<bool> alive = alive_token_;
+  sched().schedule_after(kLsuDebounce, [this, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    originate_lsu();
+  });
+}
+
+void Ipcp::originate_lsu() {
+  lsu_scheduled_ = false;
+  if (!enrolled_ || address_.is_null()) return;
+  ++lsu_seq_;
+  std::vector<naming::Address> neighbors;
+  for (const auto& [addr, ports] : live_neighbors()) neighbors.push_back(addr);
+  lsdb_[address_] = LsuRecord{lsu_seq_, neighbors};
+  stats_.inc("lsus_originated");
+
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::write;
+  m.obj_name = "/routing/lsu/" + address_.to_string();
+  m.obj_class = kClsLsu;
+  BufWriter w(16 + 4 * neighbors.size());
+  put_addr(w, address_);
+  w.put_u64(lsu_seq_);
+  w.put_u16(static_cast<std::uint16_t>(neighbors.size()));
+  for (auto n : neighbors) put_addr(w, n);
+  m.value = std::move(w).take();
+  rib_.upsert(m.obj_name, m.obj_class, m.value);
+  flood(m, std::nullopt);
+  schedule_spf();
+}
+
+void Ipcp::flood(const rib::RiepMessage& m, std::optional<relay::PortIndex> except) {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    auto idx = static_cast<relay::PortIndex>(i);
+    if (except && *except == idx) continue;
+    if (usable(ports_[i])) send_mgmt(idx, m);
+  }
+}
+
+void Ipcp::handle_lsu(relay::PortIndex idx, const rib::RiepMessage& m) {
+  stats_.inc("lsus_received");
+  BufReader r(BytesView{m.value});
+  naming::Address origin = get_addr(r);
+  std::uint64_t seq = r.get_u64();
+  std::uint16_t n = r.get_u16();
+  std::vector<naming::Address> neighbors;
+  neighbors.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) neighbors.push_back(get_addr(r));
+  if (!r.ok() || origin.is_null()) return;
+  if (origin == address_) return;
+  auto& rec = lsdb_[origin];
+  if (seq <= rec.seq && !(rec.seq == 0 && seq == 0)) return;  // stale
+  rec.seq = seq;
+  rec.neighbors = std::move(neighbors);
+  rib_.upsert("/routing/lsu/" + origin.to_string(), kClsLsu, m.value);
+  flood(m, idx);
+  schedule_spf();
+}
+
+void Ipcp::schedule_spf() {
+  if (spf_scheduled_ || departed_) return;
+  spf_scheduled_ = true;
+  std::weak_ptr<bool> alive = alive_token_;
+  sched().schedule_after(kSpfDebounce, [this, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    run_spf();
+  });
+}
+
+void Ipcp::run_spf() {
+  spf_scheduled_ = false;
+  if (!enrolled_ || address_.is_null()) return;
+  stats_.inc("spf_runs");
+
+  routing::Graph g;
+  auto mine = live_neighbors();
+  for (const auto& [addr, ports] : mine) g.add_edge(address_, addr, 1);
+  for (const auto& [origin, rec] : lsdb_) {
+    if (origin == address_) continue;
+    for (auto n : rec.neighbors) g.add_edge(origin, n, 1);
+  }
+  auto spf = g.dijkstra(address_);
+
+  rmt_.fib_.clear_routes();
+  if (!cfg_.aggregate_regions) {
+    for (auto& [dest, entry] : spf.entries)
+      rmt_.fib_.set_next_hops(dest, entry.next_hops);
+  } else {
+    // Topological aggregation: full entries for my region, one wildcard
+    // entry per foreign region (routes grow with regions, not nodes).
+    std::map<std::uint16_t, std::pair<routing::Cost, std::vector<naming::Address>>>
+        best_foreign;
+    for (auto& [dest, entry] : spf.entries) {
+      if (dest.region == address_.region) {
+        rmt_.fib_.set_next_hops(dest, entry.next_hops);
+      } else {
+        auto it = best_foreign.find(dest.region);
+        if (it == best_foreign.end() || entry.dist < it->second.first)
+          best_foreign[dest.region] = {entry.dist, entry.next_hops};
+      }
+    }
+    for (auto& [region, best] : best_foreign)
+      rmt_.fib_.set_next_hops(naming::Address{region, 0}, best.second);
+  }
+  rebuild_neighbor_ports();
+}
+
+// --------------------------- keepalives ---------------------------
+
+void Ipcp::keepalive_tick() {
+  if (!keepalive_running_) return;
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::write;
+  m.obj_name = "/dif/keepalive";
+  m.obj_class = kClsKeepAlive;
+  bool changed = false;
+  SimTime limit{cfg_.keepalive_interval.ns * cfg_.keepalive_misses};
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    Port& p = ports_[i];
+    if (!p.peer_enrolled || !p.carrier) continue;
+    if (p.alive && sched().now() - p.last_heard > limit) {
+      p.alive = false;
+      stats_.inc("keepalive_expired");
+      changed = true;
+      continue;
+    }
+    if (p.alive) send_mgmt(static_cast<relay::PortIndex>(i), m);
+  }
+  if (changed) adjacency_changed();
+  std::weak_ptr<bool> alive = alive_token_;
+  sched().schedule_after(cfg_.keepalive_interval, [this, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    keepalive_tick();
+  });
+}
+
+// --------------------------- enrollment ---------------------------
+
+Result<void> Ipcp::enroll_via(relay::PortIndex idx) {
+  if (idx >= ports_.size()) return {Err::invalid, "no such port"};
+  if (enrolled_) return {Err::already_exists, "already enrolled"};
+  departed_ = false;
+  enrollment_.join_port_ = idx;
+  enrollment_.attempts_ = 0;
+  ++enrollment_.attempt_epoch_;
+  join_attempt(idx);
+  return Ok();
+}
+
+void Ipcp::join_attempt(relay::PortIndex idx) {
+  if (enrolled_) return;
+  if (enrollment_.attempts_ >= kMaxJoinAttempts) {
+    enrollment_.stats_.inc("join_gave_up");
+    return;
+  }
+  ++enrollment_.attempts_;
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::start;
+  m.obj_name = "/dif/enrollment/" + host_.node_name();
+  m.obj_class = kClsJoinReq;
+  BufWriter w(32);
+  w.put_lpstring(host_.node_name());
+  w.put_lpstring(cfg_.auth_policy == "password" ? cfg_.auth_secret : "");
+  m.value = std::move(w).take();
+  send_mgmt(idx, m);
+
+  std::uint64_t epoch = enrollment_.attempt_epoch_;
+  std::weak_ptr<bool> alive = alive_token_;
+  sched().schedule_after(kJoinTimeout, [this, idx, epoch, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    if (!enrolled_ && epoch == enrollment_.attempt_epoch_) join_attempt(idx);
+  });
+}
+
+void Ipcp::handle_join_msg(relay::PortIndex idx, const rib::RiepMessage& m) {
+  Port& p = ports_[idx];
+  const std::string& cls = m.obj_class;
+  BufReader r(BytesView{m.value});
+
+  if (cls == kClsJoinReq) {
+    if (!enrolled_) return;  // only members admit
+    enrollment_.stats_.inc("join_requests_received");
+    std::string joiner = r.get_lpstring();
+    std::string offered_secret = r.get_lpstring();
+    if (!r.ok()) return;
+    if (cfg_.auth_policy == "none") {
+      admit_joiner(idx, joiner);
+    } else if (cfg_.auth_policy == "password") {
+      if (offered_secret == cfg_.auth_secret) {
+        admit_joiner(idx, joiner);
+      } else {
+        enrollment_.stats_.inc("joins_rejected");
+        rib::RiepMessage rej;
+        rej.op = rib::RiepOp::reply;
+        rej.obj_name = m.obj_name;
+        rej.obj_class = kClsJoinReject;
+        rej.value = to_bytes("bad credentials");
+        send_mgmt(idx, rej);
+      }
+    } else {  // psk-challenge
+      std::uint64_t nonce = splitmix64(++enrollment_.nonce_counter_ ^
+                                       (static_cast<std::uint64_t>(dif_id_) << 32) ^
+                                       address_.key());
+      p.join_nonce = nonce;
+      rib::RiepMessage ch;
+      ch.op = rib::RiepOp::reply;
+      ch.obj_name = m.obj_name;
+      ch.obj_class = kClsJoinChallenge;
+      BufWriter w(8);
+      w.put_u64(nonce);
+      ch.value = std::move(w).take();
+      send_mgmt(idx, ch);
+    }
+    return;
+  }
+
+  if (cls == kClsJoinChallenge) {
+    // Answer only a challenge we solicited, on the port we are joining
+    // through — anything else is a chosen-nonce oracle for our secret.
+    if (enrolled_ || !enrollment_.join_port_ || *enrollment_.join_port_ != idx)
+      return;
+    std::uint64_t nonce = r.get_u64();
+    if (!r.ok()) return;
+    rib::RiepMessage resp;
+    resp.op = rib::RiepOp::reply;
+    resp.obj_name = m.obj_name;
+    resp.obj_class = kClsJoinResp;
+    BufWriter w(32);
+    w.put_lpstring(host_.node_name());
+    w.put_u64(auth_token(nonce));
+    resp.value = std::move(w).take();
+    send_mgmt(idx, resp);
+    return;
+  }
+
+  if (cls == kClsJoinResp) {
+    if (!enrolled_ || !p.join_nonce) return;
+    std::string joiner = r.get_lpstring();
+    std::uint64_t proof = r.get_u64();
+    if (!r.ok()) return;
+    std::uint64_t expect = auth_token(*p.join_nonce);
+    p.join_nonce.reset();
+    if (proof == expect) {
+      admit_joiner(idx, joiner);
+    } else {
+      enrollment_.stats_.inc("joins_rejected");
+      rib::RiepMessage rej;
+      rej.op = rib::RiepOp::reply;
+      rej.obj_name = m.obj_name;
+      rej.obj_class = kClsJoinReject;
+      rej.value = to_bytes("challenge failed");
+      send_mgmt(idx, rej);
+    }
+    return;
+  }
+
+  if (cls == kClsJoinAccept) {
+    // Accept only on the port our join is actually in progress on; a
+    // spoofed accept must not hand us an address and topology.
+    if (enrolled_ || !enrollment_.join_port_ || *enrollment_.join_port_ != idx)
+      return;
+    complete_enrollment(idx, m);
+    return;
+  }
+
+  if (cls == kClsJoinReject) {
+    // Same gating as accept/challenge: a spoofed reject from another port
+    // must not cancel or redirect the enrollment in progress.
+    if (enrolled_ || !enrollment_.join_port_ || *enrollment_.join_port_ != idx)
+      return;
+    enrollment_.stats_.inc("join_rejects_received");
+    std::uint64_t epoch = ++enrollment_.attempt_epoch_;
+    std::weak_ptr<bool> alive = alive_token_;
+    sched().schedule_after(kJoinRetryGap, [this, idx, epoch, alive] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      if (!enrolled_ && epoch == enrollment_.attempt_epoch_) join_attempt(idx);
+    });
+    return;
+  }
+}
+
+void Ipcp::admit_joiner(relay::PortIndex idx, const std::string& joiner_name) {
+  Port& p = ports_[idx];
+  naming::Address assigned = host_.allocate_dif_address(cfg_.name);
+  enrollment_.stats_.inc("joins_accepted");
+  enrollment_.stats_.inc("members_admitted");
+  p.peer = assigned;
+  p.peer_enrolled = true;
+  p.alive = true;
+
+  rib::RiepMessage acc;
+  acc.op = rib::RiepOp::reply;
+  acc.obj_name = "/dif/enrollment/" + joiner_name;
+  acc.obj_class = kClsJoinAccept;
+  // Snapshots must fit the PCI's u16 payload length; past the budget we
+  // truncate and count it — floods and dir-sync top the joiner up later.
+  BufWriter dir_w(256);
+  std::uint16_t ndir = 0;
+  for (const auto& [app, at] : dir_.entries()) {
+    if (dir_w.size() > kSnapshotBudget / 2) {
+      stats_.inc("snapshot_truncated");
+      break;
+    }
+    put_app(dir_w, app);
+    put_addr(dir_w, at);
+    ++ndir;
+  }
+  // LSDB snapshot: the joiner must see the DIF's topology, not just us —
+  // link-state floods only carry *changes*.
+  BufWriter lsu_w(256);
+  std::uint16_t nlsu = 0;
+  for (const auto& [origin, rec] : lsdb_) {
+    if (lsu_w.size() > kSnapshotBudget / 2) {
+      stats_.inc("snapshot_truncated");
+      break;
+    }
+    put_addr(lsu_w, origin);
+    lsu_w.put_u64(rec.seq);
+    lsu_w.put_u16(static_cast<std::uint16_t>(rec.neighbors.size()));
+    for (auto nb : rec.neighbors) put_addr(lsu_w, nb);
+    ++nlsu;
+  }
+  BufWriter w(16 + dir_w.size() + lsu_w.size());
+  put_addr(w, assigned);
+  put_addr(w, address_);
+  w.put_u16(ndir);
+  w.put_bytes(BytesView{std::move(dir_w).take()});
+  w.put_u16(nlsu);
+  w.put_bytes(BytesView{std::move(lsu_w).take()});
+  acc.value = std::move(w).take();
+  send_mgmt(idx, acc);
+  adjacency_changed();
+}
+
+void Ipcp::complete_enrollment(relay::PortIndex idx, const rib::RiepMessage& m) {
+  Port& p = ports_[idx];
+  BufReader r(BytesView{m.value});
+  naming::Address assigned = get_addr(r);
+  naming::Address member = get_addr(r);
+  std::uint16_t n = r.get_u16();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    naming::AppName app = get_app(r);
+    naming::Address at = get_addr(r);
+    if (r.ok()) dir_.add(app, at);
+  }
+  std::uint16_t nlsu = r.get_u16();
+  for (std::uint16_t i = 0; i < nlsu && r.ok(); ++i) {
+    naming::Address origin = get_addr(r);
+    std::uint64_t seq = r.get_u64();
+    std::uint16_t nn = r.get_u16();
+    std::vector<naming::Address> neighbors;
+    neighbors.reserve(nn);
+    for (std::uint16_t k = 0; k < nn; ++k) neighbors.push_back(get_addr(r));
+    if (!r.ok()) break;
+    auto& rec = lsdb_[origin];
+    if (seq > rec.seq) {
+      rec.seq = seq;
+      rec.neighbors = std::move(neighbors);
+    }
+  }
+  if (!r.ok()) return;
+  ++enrollment_.attempt_epoch_;  // cancel retries
+  enrollment_.stats_.inc("joins_completed");
+  p.peer = member;
+  p.peer_enrolled = true;
+  p.alive = true;
+  bootstrap_member(assigned);
+  // Announce whatever was registered locally before we had an address.
+  for (const auto& [app, handler] : fa_.apps_) publish_app(app);
+  adjacency_changed();
+}
+
+void Ipcp::leave(bool teardown_flows) {
+  if (!enrolled_) return;
+  fa_.close_all(teardown_flows);
+  rib::RiepMessage bye;
+  bye.op = rib::RiepOp::stop;
+  bye.obj_name = "/dif/members/" + host_.node_name();
+  bye.obj_class = kClsBye;
+  for (std::size_t i = 0; i < ports_.size(); ++i)
+    if (usable(ports_[i])) send_mgmt(static_cast<relay::PortIndex>(i), bye);
+  enrolled_ = false;
+  departed_ = true;
+  keepalive_running_ = false;
+  stats_.inc("departures");
+}
+
+// --------------------------- directory ---------------------------
+
+void Ipcp::flood_dir_entry(const naming::AppName& app, std::uint8_t op) {
+  rib::RiepMessage m;
+  m.op = op == 1 ? rib::RiepOp::create : rib::RiepOp::remove;
+  m.obj_name = "/dif/directory/" + app.to_string();
+  m.obj_class = kClsDirUpd;
+  BufWriter w(32);
+  put_addr(w, address_);
+  w.put_u64(++dir_seq_);
+  w.put_u8(op);
+  put_app(w, app);
+  put_addr(w, address_);
+  m.value = std::move(w).take();
+  flood(m, std::nullopt);
+}
+
+void Ipcp::publish_app(const naming::AppName& app) {
+  if (!enrolled_ || address_.is_null()) return;
+  dir_.add(app, address_);
+  rib_.upsert("/dif/directory/" + app.to_string(), "DirEntry",
+              to_bytes(address_.to_string()));
+  flood_dir_entry(app, 1);
+  // Registration can race adjacency bring-up (the flood reaches only
+  // usable ports); re-announce with fresh sequence numbers until the DIF
+  // has had time to converge.
+  std::weak_ptr<bool> alive = alive_token_;
+  for (double ms : {20.0, 100.0, 500.0}) {
+    sched().schedule_after(SimTime::from_ms(ms), [this, app, alive] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      if (enrolled_ && dir_.lookup(app) == std::optional<naming::Address>{address_})
+        flood_dir_entry(app, 1);
+    });
+  }
+}
+
+void Ipcp::unpublish_app(const naming::AppName& app) {
+  dir_.remove(app);
+  flood_dir_entry(app, 2);
+}
+
+void Ipcp::send_dir_sync(relay::PortIndex idx) {
+  if (!enrolled_ || dir_.size() == 0) return;
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::write;
+  m.obj_name = "/dif/directory";
+  m.obj_class = kClsDirSync;
+  BufWriter body(256);
+  std::uint16_t n = 0;
+  for (const auto& [app, at] : dir_.entries()) {
+    if (body.size() > kSnapshotBudget) {
+      stats_.inc("snapshot_truncated");
+      break;
+    }
+    put_app(body, app);
+    put_addr(body, at);
+    ++n;
+  }
+  BufWriter w(4 + body.size());
+  w.put_u16(n);
+  w.put_bytes(BytesView{std::move(body).take()});
+  m.value = std::move(w).take();
+  send_mgmt(idx, m);
+}
+
+void Ipcp::handle_dir_sync(const rib::RiepMessage& m) {
+  BufReader r(BytesView{m.value});
+  std::uint16_t n = r.get_u16();
+  for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+    naming::AppName app = get_app(r);
+    naming::Address at = get_addr(r);
+    if (r.ok() && !dir_.lookup(app)) dir_.add(app, at);
+  }
+}
+
+void Ipcp::handle_dir_update(relay::PortIndex idx, const rib::RiepMessage& m) {
+  BufReader r(BytesView{m.value});
+  naming::Address origin = get_addr(r);
+  std::uint64_t seq = r.get_u64();
+  std::uint8_t op = r.get_u8();
+  naming::AppName app = get_app(r);
+  naming::Address at = get_addr(r);
+  if (!r.ok() || origin.is_null()) return;
+  if (origin == address_) return;
+  std::uint64_t key = (static_cast<std::uint64_t>(origin.key()) << 24) ^ seq;
+  if (!dir_flood_seen_.insert(key).second) return;
+  if (op == 1) {
+    dir_.add(app, at);
+    rib_.upsert("/dif/directory/" + app.to_string(), "DirEntry",
+                to_bytes(at.to_string()));
+  } else {
+    dir_.remove(app);
+  }
+  flood(m, idx);
+}
+
+// ============================== Rmt ==============================
+
+void Rmt::send(efcp::Pdu&& pdu) {
+  stats_.inc("pdus_out");
+  if (pdu.pci.dest == self_.address_ && !pdu.pci.dest.is_null()) {
+    self_.deliver_local(pdu);
+    return;
+  }
+  auto out = fib_.lookup(pdu.pci.dest,
+                         [this](relay::PortIndex i) { return self_.port_up(i); });
+  if (!out) {
+    stats_.inc("drop_no_route");
+    return;
+  }
+  egress(*out, std::move(pdu));
+}
+
+Result<void> Rmt::egress_via(relay::PortIndex port, efcp::Pdu&& pdu) {
+  if (port >= self_.ports_.size()) return {Err::invalid, "no such port"};
+  egress(port, std::move(pdu));
+  return Ok();
+}
+
+std::uint8_t Rmt::class_priority(efcp::QosId q) const {
+  for (const auto& c : self_.cfg_.cubes)
+    if (c.id == q) return c.priority;
+  return q;
+}
+
+void Rmt::egress(relay::PortIndex port, efcp::Pdu&& pdu) {
+  Ipcp::Port& p = self_.ports_[port];
+  if (p.queue.empty()) {
+    if (p.tx(pdu.encode())) return;
+  }
+  // NIC/flow refused or a queue already exists: buffer above the port,
+  // honoring the scheduling discipline.
+  const auto cap = self_.cfg_.rmt_queue_pdus;
+  if (self_.cfg_.rmt_sched == relay::RmtSched::priority) {
+    std::uint8_t prio = class_priority(pdu.pci.qos_id);
+    if (p.queue.size() >= cap) {
+      // Full: the lowest class (queue back, kept sorted) gives way.
+      if (!p.queue.empty() &&
+          class_priority(p.queue.back().pci.qos_id) > prio) {
+        p.queue.pop_back();
+        stats_.inc("rmt_drops");
+      } else {
+        stats_.inc("rmt_drops");
+        return;
+      }
+    }
+    auto it = p.queue.end();
+    while (it != p.queue.begin() &&
+           class_priority(std::prev(it)->pci.qos_id) > prio)
+      --it;
+    p.queue.insert(it, std::move(pdu));
+  } else {
+    if (p.queue.size() >= cap) {
+      stats_.inc("rmt_drops");
+      return;
+    }
+    p.queue.push_back(std::move(pdu));
+  }
+  schedule_drain(port);
+}
+
+void Rmt::schedule_drain(relay::PortIndex port) {
+  Ipcp::Port& p = self_.ports_[port];
+  if (p.drain_scheduled) return;
+  p.drain_scheduled = true;
+  std::weak_ptr<bool> alive = self_.alive_token_;
+  self_.sched().schedule_after(kDrainRetry, [this, port, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    self_.ports_[port].drain_scheduled = false;
+    drain(port);
+  });
+}
+
+void Rmt::drain(relay::PortIndex port) {
+  Ipcp::Port& p = self_.ports_[port];
+  while (!p.queue.empty()) {
+    if (!p.tx(p.queue.front().encode())) break;
+    p.queue.pop_front();
+  }
+  if (!p.queue.empty()) schedule_drain(port);
+}
+
+// ========================= FlowAllocator =========================
+
+Result<void> FlowAllocator::register_app(const naming::AppName& app,
+                                         flow::AppHandler handler) {
+  auto [it, inserted] = apps_.emplace(app, std::move(handler));
+  if (!inserted) return {Err::already_exists, app.to_string()};
+  stats_.inc("apps_registered");
+  self_.publish_app(app);
+  return Ok();
+}
+
+bool FlowAllocator::can_resolve(const naming::AppName& app) const {
+  return self_.dir_.lookup(app).has_value();
+}
+
+FlowAllocator::FlowRec* FlowAllocator::by_port(flow::PortId p) {
+  auto it = flows_.find(p);
+  return it == flows_.end() ? nullptr : it->second.get();
+}
+
+void FlowAllocator::allocate(const naming::AppName& local,
+                             const naming::AppName& remote,
+                             const flow::QosSpec& spec,
+                             flow::AllocateCallback cb) {
+  // Resolve the QoS cube first: asking for a class the DIF does not offer
+  // is an immediate, local failure.
+  const flow::QosCube* cube = nullptr;
+  for (const auto& c : self_.cfg_.cubes) {
+    if (!spec.cube_hint.empty() ? c.name == spec.cube_hint
+                                : c.reliable == spec.reliable) {
+      cube = &c;
+      break;
+    }
+  }
+  if (cube == nullptr) {
+    cb({Err::not_found, "no matching QoS cube in DIF " + self_.cfg_.name.str()});
+    return;
+  }
+  std::uint32_t invoke = next_invoke_++;
+  Pending pend;
+  pend.local = local;
+  pend.remote = remote;
+  pend.spec = spec;
+  pend.cb = std::move(cb);
+  pend.cube = *cube;
+  pend.local_cep = next_cep_++;
+  pend.deadline = self_.sched().now() + kAllocDeadline;
+  pending_.emplace(invoke, std::move(pend));
+  stats_.inc("alloc_requests");
+  try_pending(invoke);
+}
+
+void FlowAllocator::try_pending(std::uint32_t invoke_id) {
+  auto it = pending_.find(invoke_id);
+  if (it == pending_.end()) return;
+  Pending& pend = it->second;
+  // Sending before enrollment completes would stamp the request with a
+  // stale (or null) source address; wait like a directory miss.
+  std::optional<naming::Address> addr;
+  if (self_.enrolled_ && !self_.address_.is_null())
+    addr = self_.dir_.lookup(pend.remote);
+  if (!addr) {
+    if (self_.sched().now() >= pend.deadline) {
+      finish_pending(invoke_id,
+                     {Err::not_found, "no directory entry for " +
+                                          pend.remote.to_string() + " in " +
+                                          self_.cfg_.name.str()});
+      return;
+    }
+    std::weak_ptr<bool> alive = self_.alive_token_;
+    self_.sched().schedule_after(kAllocRetry, [this, invoke_id, alive] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      try_pending(invoke_id);
+    });
+    return;
+  }
+
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::create;
+  m.invoke_id = invoke_id;
+  m.obj_name = "/dif/flows/" + pend.remote.to_string();
+  m.obj_class = "FlowReq";
+  BufWriter w(64);
+  put_addr(w, self_.address_);
+  w.put_u16(pend.local_cep);
+  w.put_u8(pend.cube.id);
+  w.put_lpstring(pend.cube.name);
+  put_app(w, pend.local);
+  put_app(w, pend.remote);
+  m.value = std::move(w).take();
+  self_.send_routed_mgmt(*addr, m);
+  pend.sent = true;
+
+  // Re-try until answered: the request may race routing convergence or
+  // the destination may have moved.
+  std::weak_ptr<bool> alive = self_.alive_token_;
+  self_.sched().schedule_after(kAllocResend, [this, invoke_id, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    auto pit = pending_.find(invoke_id);
+    if (pit == pending_.end()) return;
+    if (self_.sched().now() >= pit->second.deadline) {
+      finish_pending(invoke_id, {Err::timeout, "flow allocation timed out"});
+      return;
+    }
+    try_pending(invoke_id);
+  });
+}
+
+void FlowAllocator::finish_pending(std::uint32_t invoke_id,
+                                   Result<flow::FlowInfo> r) {
+  auto it = pending_.find(invoke_id);
+  if (it == pending_.end()) return;
+  flow::AllocateCallback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  if (!r.ok()) stats_.inc("alloc_failed");
+  cb(std::move(r));
+}
+
+void FlowAllocator::create_connection(FlowRec& rec) {
+  // The policy name selects the mechanism profile (timers, windows); the
+  // cube's declared flags are authoritative for the service semantics —
+  // flow matching reads the flags, so they must win over the string.
+  efcp::EfcpPolicies pol = efcp::EfcpPolicies::from_policy_name(rec.cube.efcp_policy);
+  pol.reliable = rec.cube.reliable;
+  pol.in_order = rec.cube.in_order;
+  efcp::ConnectionId id;
+  id.src = self_.address_;
+  id.dst = rec.peer;
+  id.src_cep = rec.local_cep;
+  id.dst_cep = rec.remote_cep;
+  id.qos = rec.cube.id;
+  flow::PortId port = rec.port;
+  rec.conn = std::make_unique<efcp::Connection>(
+      self_.sched(), pol, id,
+      [this](efcp::Pdu&& pdu) { self_.rmt_.send(std::move(pdu)); },
+      [this, port](Bytes&& sdu) {
+        FlowRec* r = by_port(port);
+        if (r == nullptr) return;
+        if (r->sink) {
+          r->sink(std::move(sdu));
+        } else if (r->has_app) {
+          auto ait = apps_.find(r->app);
+          if (ait != apps_.end() && ait->second.on_data)
+            ait->second.on_data(port, std::move(sdu));
+        } else {
+          stats_.inc("sdus_unconsumed");
+        }
+      });
+}
+
+void FlowAllocator::on_flow_req(const efcp::Pci& /*pci*/, const rib::RiepMessage& m) {
+  BufReader r(BytesView{m.value});
+  naming::Address src_addr = get_addr(r);
+  efcp::CepId src_cep = r.get_u16();
+  (void)r.get_u8();
+  std::string cube_name = r.get_lpstring();
+  naming::AppName src_app = get_app(r);
+  naming::AppName dst_app = get_app(r);
+  if (!r.ok()) return;
+
+  auto reply = [&](bool ok, efcp::CepId cep, const std::string& err) {
+    rib::RiepMessage resp;
+    resp.op = rib::RiepOp::reply;
+    resp.invoke_id = m.invoke_id;
+    resp.obj_name = m.obj_name;
+    resp.obj_class = "FlowResp";
+    BufWriter w(32);
+    w.put_u8(ok ? 1 : 0);
+    w.put_u16(cep);
+    w.put_lpstring(err);
+    resp.value = std::move(w).take();
+    self_.send_routed_mgmt(src_addr, resp);
+  };
+
+  // Idempotent re-request (the response may have been lost).
+  std::uint64_t key = (static_cast<std::uint64_t>(src_addr.key()) << 16) | src_cep;
+  auto dup = remote_flow_index_.find(key);
+  if (dup != remote_flow_index_.end()) {
+    FlowRec* rec = by_port(dup->second);
+    if (rec != nullptr) {
+      reply(true, rec->local_cep, {});
+      return;
+    }
+  }
+
+  auto ait = apps_.find(dst_app);
+  if (ait == apps_.end()) {
+    stats_.inc("flow_reqs_refused");
+    reply(false, 0, "no such application: " + dst_app.to_string());
+    return;
+  }
+  const flow::QosCube* cube = nullptr;
+  for (const auto& c : self_.cfg_.cubes)
+    if (c.name == cube_name) cube = &c;
+  if (cube == nullptr) {
+    reply(false, 0, "no such QoS cube: " + cube_name);
+    return;
+  }
+
+  auto rec = std::make_unique<FlowRec>();
+  rec->port = self_.host_.allocate_port_id();
+  rec->local = dst_app;
+  rec->remote = src_app;
+  rec->peer = src_addr;
+  rec->cube = *cube;
+  rec->local_cep = next_cep_++;
+  rec->remote_cep = src_cep;
+  rec->app = dst_app;
+  rec->has_app = true;
+  create_connection(*rec);
+  flow::PortId port = rec->port;
+  by_cep_[rec->local_cep] = port;
+  remote_flow_index_[key] = port;
+  stats_.inc("flows_accepted");
+
+  flow::FlowInfo info;
+  info.port = port;
+  info.cube = *cube;
+  info.local = dst_app;
+  info.remote = src_app;
+  info.dif = self_.cfg_.name;
+  efcp::CepId local_cep = rec->local_cep;
+  flows_.emplace(port, std::move(rec));
+  if (ait->second.on_new_flow) ait->second.on_new_flow(port, info);
+  reply(true, local_cep, {});
+}
+
+void FlowAllocator::on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m) {
+  auto it = pending_.find(m.invoke_id);
+  if (it == pending_.end()) return;
+  Pending& pend = it->second;
+  BufReader r(BytesView{m.value});
+  bool ok = r.get_u8() != 0;
+  efcp::CepId cep = r.get_u16();
+  std::string err = r.get_lpstring();
+  if (!r.ok()) return;
+  if (!ok) {
+    finish_pending(m.invoke_id, {Err::refused, err});
+    return;
+  }
+  // The responder's address comes from the response itself — the
+  // directory entry may have been withdrawn while the request was in
+  // flight, and a null peer would black-hole every write.
+  auto rec = std::make_unique<FlowRec>();
+  rec->port = self_.host_.allocate_port_id();
+  rec->local = pend.local;
+  rec->remote = pend.remote;
+  rec->peer = pci.src;
+  rec->cube = pend.cube;
+  rec->local_cep = pend.local_cep;
+  rec->remote_cep = cep;
+  create_connection(*rec);
+
+  flow::FlowInfo info;
+  info.port = rec->port;
+  info.cube = rec->cube;
+  info.local = pend.local;
+  info.remote = pend.remote;
+  info.dif = self_.cfg_.name;
+  by_cep_[rec->local_cep] = rec->port;
+  flows_.emplace(rec->port, std::move(rec));
+  stats_.inc("flows_allocated");
+  finish_pending(m.invoke_id, info);
+}
+
+void FlowAllocator::on_flow_teardown(const efcp::Pci& pci,
+                                     const rib::RiepMessage& m) {
+  (void)pci;
+  BufReader r(BytesView{m.value});
+  efcp::CepId cep = r.get_u16();
+  if (!r.ok()) return;
+  auto it = by_cep_.find(cep);
+  if (it == by_cep_.end()) return;
+  FlowRec* rec = by_port(it->second);
+  if (rec != nullptr) close_flow(*rec, false);
+}
+
+void FlowAllocator::close_flow(FlowRec& rec, bool notify_peer) {
+  if (notify_peer && !rec.peer.is_null()) {
+    rib::RiepMessage m;
+    m.op = rib::RiepOp::remove;
+    m.obj_name = "/dif/flows/" + rec.local.to_string();
+    m.obj_class = "FlowTeardown";
+    BufWriter w(4);
+    w.put_u16(rec.remote_cep);
+    m.value = std::move(w).take();
+    self_.send_routed_mgmt(rec.peer, m);
+  }
+  stats_.inc("flows_closed");
+  if (rec.conn) stats_.merge(rec.conn->stats());
+  if (rec.on_closed) rec.on_closed();
+  if (rec.has_app) {
+    auto ait = apps_.find(rec.app);
+    if (ait != apps_.end() && ait->second.on_closed)
+      ait->second.on_closed(rec.port);
+  }
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(rec.peer.key()) << 16) | rec.remote_cep;
+  remote_flow_index_.erase(key);
+  by_cep_.erase(rec.local_cep);
+  flows_.erase(rec.port);  // rec dies here
+}
+
+void FlowAllocator::close_all(bool notify_peers) {
+  std::vector<flow::PortId> ports;
+  ports.reserve(flows_.size());
+  for (const auto& [port, rec] : flows_) ports.push_back(port);
+  for (flow::PortId port : ports) {
+    FlowRec* rec = by_port(port);
+    if (rec != nullptr) close_flow(*rec, notify_peers);
+  }
+}
+
+Result<void> FlowAllocator::write(flow::PortId port, BytesView sdu) {
+  FlowRec* rec = by_port(port);
+  if (rec == nullptr || !rec->conn) return {Err::flow_closed, "no such flow"};
+  return rec->conn->write_sdu(sdu);
+}
+
+efcp::Connection* FlowAllocator::connection(flow::PortId port) {
+  FlowRec* rec = by_port(port);
+  return rec == nullptr ? nullptr : rec->conn.get();
+}
+
+void FlowAllocator::set_flow_sink(flow::PortId port,
+                                  std::function<void(Bytes&&)> on_data,
+                                  std::function<void()> on_closed) {
+  FlowRec* rec = by_port(port);
+  if (rec == nullptr) return;
+  rec->sink = std::move(on_data);
+  rec->on_closed = std::move(on_closed);
+}
+
+}  // namespace rina::ipcp

@@ -1,0 +1,313 @@
+// ipcp.hpp — one IPC process: a member of one DIF on one processing
+// system. The paper's claim is that networking is this object, repeated:
+//
+//   * Enrollment  — joining the DIF under its admission policy (§6.1);
+//   * Directory   — name -> address, internal to the DIF;
+//   * Flow alloc  — request IPC to an application by *name*; get a
+//                   port-id back; addresses never reach the app;
+//   * EFCP        — per-flow error/flow control with per-DIF policies;
+//   * RMT         — relaying & multiplexing over the DIF's ports with
+//                   two-step forwarding (routing/graph + relay/forwarding);
+//   * Routing     — link-state flooding scoped to this DIF only.
+//
+// Ports are the IPCP's attachments to the level below: a wire for a
+// rank-0 DIF, an N-1 flow for an overlay DIF. The IPCP cannot tell the
+// difference — that indistinguishability is the recursion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "dif/config.hpp"
+#include "efcp/connection.hpp"
+#include "efcp/pci.hpp"
+#include "flow/qos.hpp"
+#include "naming/directory.hpp"
+#include "naming/names.hpp"
+#include "relay/forwarding.hpp"
+#include "rib/riep.hpp"
+#include "routing/graph.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::ipcp {
+
+class Ipcp;
+
+/// What an IPCP needs from the processing system that hosts it.
+class IpcpHost {
+ public:
+  virtual ~IpcpHost() = default;
+  [[nodiscard]] virtual const std::string& node_name() const = 0;
+  virtual sim::Scheduler& sched() = 0;
+  virtual naming::Address allocate_dif_address(const naming::DifName& dif) = 0;
+  virtual flow::PortId allocate_port_id() = 0;
+};
+
+/// Relaying and Multiplexing Task: the forwarding engine of one IPCP.
+class Rmt {
+ public:
+  explicit Rmt(Ipcp& self) : self_(self) {}
+
+  Stats& stats() { return stats_; }
+  relay::ForwardingTable& fib() { return fib_; }
+
+  /// Route a PDU originated by this IPCP (EFCP output or routed mgmt).
+  void send(efcp::Pdu&& pdu);
+
+  /// Transmit raw on a specific port, bypassing routing (used by tests
+  /// and by attackers with a wire — exactly why ingress gates ports).
+  Result<void> egress_via(relay::PortIndex port, efcp::Pdu&& pdu);
+
+  /// Queue on a port, honoring the DIF's scheduling discipline.
+  void egress(relay::PortIndex port, efcp::Pdu&& pdu);
+  void drain(relay::PortIndex port);
+
+ private:
+  friend class Ipcp;
+  /// Scheduling urgency of a QoS class (lower = sooner): the cube's
+  /// declared priority, falling back to the raw id for unknown classes.
+  [[nodiscard]] std::uint8_t class_priority(efcp::QosId q) const;
+  void schedule_drain(relay::PortIndex port);
+  Ipcp& self_;
+  relay::ForwardingTable fib_;
+  Stats stats_;
+};
+
+/// Enrollment: the only conversation a DIF will have with an outsider.
+class Enrollment {
+ public:
+  explicit Enrollment(Ipcp& self) : self_(self) {}
+  Stats& stats() { return stats_; }
+
+ private:
+  friend class Ipcp;
+  Ipcp& self_;
+  Stats stats_;
+  // Joiner side: in-progress attempt.
+  std::optional<relay::PortIndex> join_port_;
+  int attempts_ = 0;
+  std::uint64_t attempt_epoch_ = 0;
+  // Member side: deterministic challenge nonces.
+  std::uint64_t nonce_counter_ = 0;
+};
+
+/// Flow allocator: names in, port-ids out.
+class FlowAllocator {
+ public:
+  explicit FlowAllocator(Ipcp& self) : self_(self) {}
+
+  Stats& stats() { return stats_; }
+
+  Result<void> register_app(const naming::AppName& app, flow::AppHandler handler);
+  [[nodiscard]] bool can_resolve(const naming::AppName& app) const;
+
+  void allocate(const naming::AppName& local, const naming::AppName& remote,
+                const flow::QosSpec& spec, flow::AllocateCallback cb);
+
+  Result<void> write(flow::PortId port, BytesView sdu);
+  efcp::Connection* connection(flow::PortId port);
+
+  /// Redirect a flow's delivery/teardown to an internal consumer (the
+  /// overlay port riding this flow).
+  void set_flow_sink(flow::PortId port, std::function<void(Bytes&&)> on_data,
+                     std::function<void()> on_closed);
+
+  void close_all(bool notify_peers);
+
+ private:
+  friend class Ipcp;
+
+  struct FlowRec {
+    flow::PortId port = 0;
+    naming::AppName local, remote;
+    naming::Address peer;
+    flow::QosCube cube;
+    efcp::CepId local_cep = 0, remote_cep = 0;
+    std::unique_ptr<efcp::Connection> conn;
+    naming::AppName app;  // registered app this flow delivers to (if any)
+    bool has_app = false;
+    std::function<void(Bytes&&)> sink;  // overrides app delivery when set
+    std::function<void()> on_closed;
+  };
+
+  struct Pending {
+    naming::AppName local, remote;
+    flow::QosSpec spec;
+    flow::AllocateCallback cb;
+    flow::QosCube cube;
+    efcp::CepId local_cep = 0;
+    SimTime deadline{};
+    bool sent = false;
+  };
+
+  FlowRec* by_port(flow::PortId p);
+  void try_pending(std::uint32_t invoke_id);
+  void finish_pending(std::uint32_t invoke_id, Result<flow::FlowInfo> r);
+  void create_connection(FlowRec& rec);
+  void on_flow_req(const efcp::Pci& pci, const rib::RiepMessage& m);
+  void on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m);
+  void on_flow_teardown(const efcp::Pci& pci, const rib::RiepMessage& m);
+  void close_flow(FlowRec& rec, bool notify_peer);
+
+  Ipcp& self_;
+  Stats stats_;
+  std::map<naming::AppName, flow::AppHandler> apps_;
+  std::map<flow::PortId, std::unique_ptr<FlowRec>> flows_;
+  std::map<efcp::CepId, flow::PortId> by_cep_;
+  std::map<std::uint64_t, flow::PortId> remote_flow_index_;  // (peer, cep)
+  std::map<std::uint32_t, Pending> pending_;
+  std::uint32_t next_invoke_ = 1;
+  efcp::CepId next_cep_ = 1;
+};
+
+class Ipcp {
+ public:
+  Ipcp(IpcpHost& host, const dif::DifConfig& cfg, std::uint32_t dif_id);
+
+  // ---- identity ----
+  [[nodiscard]] naming::Address address() const { return address_; }
+  [[nodiscard]] bool enrolled() const { return enrolled_; }
+  [[nodiscard]] const dif::DifConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint32_t dif_id() const { return dif_id_; }
+  [[nodiscard]] const naming::DifName& dif_name() const { return cfg_.name; }
+  IpcpHost& host() { return host_; }
+  sim::Scheduler& sched() { return host_.sched(); }
+
+  Rmt& rmt() { return rmt_; }
+  FlowAllocator& fa() { return fa_; }
+  Enrollment& enrollment() { return enrollment_; }
+  naming::Directory& directory() { return dir_; }
+  rib::Rib& rib() { return rib_; }
+  Stats& stats() { return stats_; }
+
+  /// Sum a counter across this IPCP's stat domains (core, RMT, FA,
+  /// enrollment, live and closed EFCP connections).
+  [[nodiscard]] std::uint64_t counter_sum(const std::string& name) const;
+
+  // ---- bootstrap (called by the Network façade) ----
+  void bootstrap_member(naming::Address addr);  // founding member: no join
+
+  // ---- ports ----
+  struct PortInit {
+    std::function<bool(Bytes&&)> tx;  // false = backpressure, retry later
+    bool is_wire = false;
+  };
+  relay::PortIndex add_port(PortInit init);
+  void start_port(relay::PortIndex idx);  // announce ourselves (Hello)
+  void on_port_frame(relay::PortIndex idx, BytesView frame);
+  void set_port_carrier(relay::PortIndex idx, bool up);
+  void port_ready(relay::PortIndex idx);
+  [[nodiscard]] bool port_up(relay::PortIndex idx) const;
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+
+  // ---- membership ----
+  Result<void> enroll_via(relay::PortIndex idx);
+  void leave(bool teardown_flows);
+
+  // ---- directory (app registration side-effects) ----
+  void publish_app(const naming::AppName& app);
+  void unpublish_app(const naming::AppName& app);
+
+ private:
+  friend class Rmt;
+  friend class FlowAllocator;
+  friend class Enrollment;
+
+  struct Port {
+    std::function<bool(Bytes&&)> tx;
+    bool is_wire = false;
+    bool carrier = true;        // wire carrier / lower-flow liveness
+    bool alive = true;          // keepalive verdict
+    bool peer_enrolled = false; // valid Hello seen or join completed
+    bool hello_sent = false;
+    naming::Address peer;
+    std::deque<efcp::Pdu> queue;  // RMT egress queue above the NIC
+    bool drain_scheduled = false;
+    SimTime last_heard{};
+    std::optional<std::uint64_t> join_nonce;  // member side of psk handshake
+  };
+
+  struct LsuRecord {
+    std::uint64_t seq = 0;
+    std::vector<naming::Address> neighbors;
+  };
+
+  [[nodiscard]] bool usable(const Port& p) const {
+    return p.carrier && p.alive && p.peer_enrolled && !p.peer.is_null();
+  }
+
+  // Management-plane plumbing.
+  void send_mgmt(relay::PortIndex idx, const rib::RiepMessage& m);
+  void send_routed_mgmt(naming::Address dest, const rib::RiepMessage& m);
+  void handle_mgmt(relay::PortIndex idx, const efcp::Pdu& pdu);
+  void handle_hello(relay::PortIndex idx, const rib::RiepMessage& m);
+  void handle_keepalive(relay::PortIndex idx);
+  void handle_bye(relay::PortIndex idx);
+  void handle_join_msg(relay::PortIndex idx, const rib::RiepMessage& m);
+  void handle_lsu(relay::PortIndex idx, const rib::RiepMessage& m);
+  void handle_dir_update(relay::PortIndex idx, const rib::RiepMessage& m);
+  void send_dir_sync(relay::PortIndex idx);
+  void handle_dir_sync(const rib::RiepMessage& m);
+  void flood_dir_entry(const naming::AppName& app, std::uint8_t op);
+  [[nodiscard]] std::uint64_t auth_token(std::uint64_t nonce) const;
+  void send_hello(relay::PortIndex idx);
+  void join_attempt(relay::PortIndex idx);
+  void admit_joiner(relay::PortIndex idx, const std::string& joiner_name);
+  void complete_enrollment(relay::PortIndex idx, const rib::RiepMessage& m);
+
+  // Routing engine (link-state, scoped to this DIF).
+  void adjacency_changed();
+  void schedule_spf();
+  void originate_lsu();
+  void flood(const rib::RiepMessage& m, std::optional<relay::PortIndex> except);
+  void run_spf();
+  void rebuild_neighbor_ports();
+  [[nodiscard]] std::map<naming::Address, std::vector<relay::PortIndex>>
+  live_neighbors() const;
+
+  // Keepalives.
+  void keepalive_tick();
+
+  // Local delivery.
+  void deliver_local(const efcp::Pdu& pdu);
+
+  IpcpHost& host_;
+  dif::DifConfig cfg_;
+  std::uint32_t dif_id_;
+  naming::Address address_;
+  bool enrolled_ = false;
+  bool departed_ = false;
+
+  std::vector<Port> ports_;
+  naming::Directory dir_;
+  rib::Rib rib_;
+  Stats stats_;
+
+  Rmt rmt_;
+  FlowAllocator fa_;
+  Enrollment enrollment_;
+
+  // Link-state database and flood dedup state.
+  std::map<naming::Address, LsuRecord> lsdb_;
+  std::uint64_t lsu_seq_ = 0;
+  std::set<std::uint64_t> dir_flood_seen_;
+  std::uint64_t dir_seq_ = 0;
+  std::vector<naming::Address> last_neighbor_set_;
+  bool lsu_scheduled_ = false;
+  bool spf_scheduled_ = false;
+  bool keepalive_running_ = false;
+
+  std::shared_ptr<bool> alive_token_;
+};
+
+}  // namespace rina::ipcp

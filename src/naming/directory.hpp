@@ -1,0 +1,43 @@
+// directory.hpp — the DIF's name-to-address mapping.
+//
+// Applications register by AppName; flow allocation resolves the name to
+// the address of the member IPC process the application sits on. This is
+// the only place names meet addresses, and it lives entirely inside the
+// DIF: nothing here is visible to applications or to other DIFs.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "naming/names.hpp"
+
+namespace rina::naming {
+
+class Directory {
+ public:
+  void add(const AppName& app, Address at) { entries_[app] = at; }
+
+  void remove(const AppName& app) { entries_.erase(app); }
+
+  /// Drop every registration pointing at `at` (a departed member).
+  void remove_at(Address at) {
+    for (auto it = entries_.begin(); it != entries_.end();)
+      it = it->second == at ? entries_.erase(it) : std::next(it);
+  }
+
+  [[nodiscard]] std::optional<Address> lookup(const AppName& app) const {
+    auto it = entries_.find(app);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::map<AppName, Address>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<AppName, Address> entries_;
+};
+
+}  // namespace rina::naming

@@ -1,0 +1,496 @@
+// network.cpp — the Network façade implementation: wiring IPCPs to links,
+// building DIFs, and the mobility/attachment operations.
+
+#include "node/network.hpp"
+
+#include <algorithm>
+
+namespace rina::node {
+
+// ============================== Node ==============================
+
+Node::Node(Network& net, std::string name) : net_(net), name_(std::move(name)) {}
+
+sim::Scheduler& Node::sched() { return net_.sched_; }
+
+naming::Address Node::allocate_dif_address(const naming::DifName& dif) {
+  return net_.allocate_dif_address(dif);
+}
+
+ipcp::Ipcp* Node::ipcp(const naming::DifName& dif) {
+  auto it = ipcps_.find(dif.str());
+  return it == ipcps_.end() ? nullptr : it->second.get();
+}
+
+ipcp::Ipcp& Node::create_ipcp(const dif::DifConfig& cfg) {
+  auto it = ipcps_.find(cfg.name.str());
+  if (it != ipcps_.end()) return *it->second;
+  std::uint32_t id = net_.dif_id_for(cfg.name);
+  auto proc = std::make_unique<ipcp::Ipcp>(*this, cfg, id);
+  auto* raw = proc.get();
+  ipcps_.emplace(cfg.name.str(), std::move(proc));
+  return *raw;
+}
+
+Result<void> Node::register_app(const naming::AppName& app,
+                                const naming::DifName& dif,
+                                flow::AppHandler handler) {
+  auto* proc = ipcp(dif);
+  if (proc == nullptr)
+    return {Err::not_found, name_ + " is not a member of " + dif.str()};
+  return proc->fa().register_app(app, std::move(handler));
+}
+
+void Node::allocate_flow_on(const naming::DifName& dif, const naming::AppName& local,
+                            const naming::AppName& remote,
+                            const flow::QosSpec& spec, flow::AllocateCallback cb) {
+  auto* proc = ipcp(dif);
+  if (proc == nullptr) {
+    cb({Err::not_found, name_ + " is not a member of " + dif.str()});
+    return;
+  }
+  proc->fa().allocate(local, remote, spec, std::move(cb));
+}
+
+void Node::allocate_flow(const naming::AppName& local, const naming::AppName& remote,
+                         const flow::QosSpec& spec, flow::AllocateCallback cb) {
+  // No DIF pinned: find one whose directory resolves the remote name.
+  // The directory entry may still be propagating, so poll with a deadline.
+  auto state = std::make_shared<flow::AllocateCallback>(std::move(cb));
+  SimTime deadline = sched().now() + SimTime::from_sec(8);
+  auto attempt = std::make_shared<std::function<void()>>();
+  // The closure holds only a weak self-reference (a strong one would be a
+  // shared_ptr cycle); each scheduled retry owns the strong reference.
+  std::weak_ptr<std::function<void()>> weak_attempt = attempt;
+  *attempt = [this, local, remote, spec, state, deadline, weak_attempt] {
+    for (auto& [name, proc] : ipcps_) {
+      if (!proc->enrolled()) continue;
+      if (proc->fa().can_resolve(remote)) {
+        proc->fa().allocate(local, remote, spec, std::move(*state));
+        return;
+      }
+    }
+    if (sched().now() >= deadline) {
+      (*state)({Err::not_found,
+                "no DIF on " + name_ + " resolves " + remote.to_string()});
+      return;
+    }
+    auto self = weak_attempt.lock();
+    if (self)
+      sched().schedule_after(SimTime::from_ms(100), [self] { (*self)(); });
+  };
+  (*attempt)();
+}
+
+Result<void> Node::write(flow::PortId port, BytesView sdu) {
+  for (auto& [name, proc] : ipcps_) {
+    if (proc->fa().connection(port) != nullptr) return proc->fa().write(port, sdu);
+  }
+  return {Err::flow_closed, "no flow with port-id " + std::to_string(port)};
+}
+
+// ============================= Network =============================
+
+Network::Network(std::uint64_t seed) : seed_(seed) {}
+Network::~Network() = default;
+
+Node& Network::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end())
+    it = nodes_.emplace(name, std::make_unique<Node>(*this, name)).first;
+  return *it->second;
+}
+
+std::uint32_t Network::dif_id_for(const naming::DifName& dif) {
+  auto it = difs_.find(dif.str());
+  if (it != difs_.end()) return it->second.id;
+  DifEntry e;
+  e.cfg.name = dif;
+  e.id = next_dif_id_++;
+  difs_.emplace(dif.str(), e);
+  return e.id;
+}
+
+Network::DifEntry& Network::dif_entry(const dif::DifConfig& cfg) {
+  auto it = difs_.find(cfg.name.str());
+  if (it == difs_.end()) {
+    DifEntry e;
+    e.cfg = cfg;
+    e.id = next_dif_id_++;
+    it = difs_.emplace(cfg.name.str(), e).first;
+  } else {
+    it->second.cfg = cfg;  // builders refine the registry config
+  }
+  return it->second;
+}
+
+Network::DifEntry* Network::find_dif(const naming::DifName& dif) {
+  auto it = difs_.find(dif.str());
+  return it == difs_.end() ? nullptr : &it->second;
+}
+
+naming::Address Network::allocate_dif_address(const naming::DifName& dif) {
+  auto* e = find_dif(dif);
+  if (e == nullptr) return naming::Address{1, 1};
+  return naming::Address{1, e->next_addr++};
+}
+
+sim::Link& Network::add_link(const std::string& a, const std::string& b,
+                             const LinkOpts& opts) {
+  node(a);
+  node(b);
+  sim::LinkConfig cfg = opts.to_config();
+  auto rec = std::make_unique<LinkRec>();
+  rec->a = a;
+  rec->b = b;
+  rec->link = std::make_unique<sim::Link>(sched_, cfg,
+                                          seed_ * 0x9e3779b9ULL + ++link_seq_, a, b);
+  auto* raw = rec.get();
+  // NIC demux: frames carry a dif-id prefix; carrier and ready events fan
+  // out to every DIF attached on the endpoint.
+  for (int side = 0; side < 2; ++side) {
+    auto& ep = rec->link->ep(side);
+    ep.set_receiver([raw, side](Bytes&& frame) {
+      BufReader r(BytesView{frame});
+      std::uint32_t dif_id = r.get_u32();
+      if (!r.ok()) return;
+      auto it = raw->attach[side].find(dif_id);
+      if (it == raw->attach[side].end()) return;
+      it->second.proc->on_port_frame(it->second.idx,
+                                     BytesView{frame}.subview(4));
+    });
+    ep.set_on_carrier([raw, side](bool up) {
+      for (auto& [id, at] : raw->attach[side]) at.proc->set_port_carrier(at.idx, up);
+    });
+    ep.set_on_ready([raw, side] {
+      for (auto& [id, at] : raw->attach[side]) at.proc->port_ready(at.idx);
+    });
+  }
+  links_.push_back(std::move(rec));
+  return *raw->link;
+}
+
+sim::Link* Network::link_between(const std::string& a, const std::string& b) {
+  for (auto& rec : links_)
+    if ((rec->a == a && rec->b == b) || (rec->a == b && rec->b == a))
+      return rec->link.get();
+  return nullptr;
+}
+
+Result<void> Network::set_link_state(const std::string& a, const std::string& b,
+                                     bool up) {
+  bool found = false;
+  for (auto& rec : links_) {
+    if (!((rec->a == a && rec->b == b) || (rec->a == b && rec->b == a))) continue;
+    found = true;
+    if (rec->link->up() != up) {
+      rec->link->set_up(up);
+      return Ok();
+    }
+  }
+  if (!found)
+    return {Err::not_found, "no link between " + a + " and " + b};
+  return Ok();  // every link already in the requested state
+}
+
+relay::PortIndex Network::wire_port(LinkRec& rec, int side, ipcp::Ipcp& proc) {
+  auto* ep = &rec.link->ep(side);
+  std::uint32_t dif_id = proc.dif_id();
+  ipcp::Ipcp::PortInit init;
+  init.is_wire = true;
+  init.tx = [ep, dif_id](Bytes&& frame) {
+    BufWriter w(frame.size() + 4);
+    w.put_u32(dif_id);
+    w.put_bytes(BytesView{frame});
+    return ep->send(std::move(w).take());
+  };
+  relay::PortIndex idx = proc.add_port(std::move(init));
+  if (!rec.link->up()) proc.set_port_carrier(idx, false);
+  rec.attach[side][dif_id] = Attach{&proc, idx};
+  return idx;
+}
+
+Network::LinkRec* Network::find_unwired_link(const std::string& a,
+                                             const std::string& b,
+                                             std::uint32_t dif_id,
+                                             int* side_of_a) {
+  for (auto& rec : links_) {
+    int side;
+    if (rec->a == a && rec->b == b) {
+      side = 0;
+    } else if (rec->a == b && rec->b == a) {
+      side = 1;
+    } else {
+      continue;
+    }
+    if (rec->attach[0].count(dif_id) != 0 || rec->attach[1].count(dif_id) != 0)
+      continue;
+    *side_of_a = side;
+    return rec.get();
+  }
+  return nullptr;
+}
+
+Network::Attach* Network::find_attach(const std::string& node_name,
+                                      const std::string& peer,
+                                      std::uint32_t dif_id) {
+  for (auto& rec : links_) {
+    int side;
+    if (rec->a == node_name && rec->b == peer) {
+      side = 0;
+    } else if (rec->a == peer && rec->b == node_name) {
+      side = 1;
+    } else {
+      continue;
+    }
+    auto it = rec->attach[side].find(dif_id);
+    if (it != rec->attach[side].end()) return &it->second;
+  }
+  return nullptr;
+}
+
+// Address plan: explicit assignments win; the rest are dealt from
+// region 1 above the highest explicit region-1 address. Every founding
+// member gets its IPCP created and enrolled.
+void Network::bootstrap_members(DifEntry& entry, const DifSpec& spec) {
+  for (const auto& [name, addr] : spec.addresses)
+    if (addr.region == 1)
+      entry.next_addr =
+          std::max<std::uint16_t>(entry.next_addr, addr.node + 1);
+  for (const auto& m : spec.members) {
+    Node& n = node(m);
+    ipcp::Ipcp& proc = n.create_ipcp(entry.cfg);
+    auto it = spec.addresses.find(m);
+    proc.bootstrap_member(it != spec.addresses.end()
+                              ? it->second
+                              : naming::Address{1, entry.next_addr++});
+  }
+}
+
+Result<void> Network::build_link_dif(DifSpec spec) {
+  if (spec.cfg.name.str().empty()) return {Err::invalid, "DIF needs a name"};
+  DifEntry& entry = dif_entry(spec.cfg);
+  bootstrap_members(entry, spec);
+
+  // Wire every member-to-member link (parallel links => parallel PoAs)
+  // and exchange greetings.
+  std::set<std::string> member_set(spec.members.begin(), spec.members.end());
+  for (auto& rec : links_) {
+    if (member_set.count(rec->a) == 0 || member_set.count(rec->b) == 0) continue;
+    if (rec->attach[0].count(entry.id) != 0) continue;
+    auto* pa = node(rec->a).ipcp(spec.cfg.name);
+    auto* pb = node(rec->b).ipcp(spec.cfg.name);
+    relay::PortIndex ia = wire_port(*rec, 0, *pa);
+    relay::PortIndex ib = wire_port(*rec, 1, *pb);
+    pa->start_port(ia);
+    pb->start_port(ib);
+  }
+  // Build is a bootstrap: run the exchange (hellos, LSU flood, SPF) so
+  // the DIF is ready for service when this returns.
+  sched_.run_for(SimTime::from_ms(100));
+  return Ok();
+}
+
+naming::AppName Network::overlay_app(const naming::DifName& dif,
+                                     const std::string& node_name) {
+  return naming::AppName("ipcp." + dif.str() + "." + node_name);
+}
+
+Result<void> Network::register_overlay_member(const naming::DifName& dif,
+                                              const std::string& node_name,
+                                              const naming::DifName& lower) {
+  Node& n = node(node_name);
+  auto* upper = n.ipcp(dif);
+  if (upper == nullptr)
+    return {Err::not_found, node_name + " has no IPCP for " + dif.str()};
+  auto* lp = n.ipcp(lower);
+  if (lp == nullptr)
+    return {Err::not_found, node_name + " is not a member of " + lower.str()};
+
+  std::string key = dif.str() + "\n" + node_name + "\n" + lower.str();
+  naming::AppName app = overlay_app(dif, node_name);
+  if (overlay_registered_.count(key) != 0) {
+    // Re-registration after (re)enrollment: refresh the directory entry
+    // (the member's lower address may have changed).
+    lp->publish_app(app);
+    return Ok();
+  }
+  overlay_registered_.insert(key);
+
+  flow::AppHandler h;
+  std::string nn = node_name;
+  naming::DifName d = dif, low = lower;
+  h.on_new_flow = [this, nn, d, low](flow::PortId p, const flow::FlowInfo&) {
+    (void)bind_overlay_port(nn, d, low, p);
+  };
+  return n.register_app(app, lower, std::move(h));
+}
+
+relay::PortIndex Network::bind_overlay_port(const std::string& node_name,
+                                            const naming::DifName& dif,
+                                            const naming::DifName& lower,
+                                            flow::PortId lower_port) {
+  Node& n = node(node_name);
+  auto* upper = n.ipcp(dif);
+  auto* lp = n.ipcp(lower);
+  ipcp::Ipcp::PortInit init;
+  init.is_wire = false;
+  init.tx = [lp, lower_port](Bytes&& frame) {
+    auto r = lp->fa().write(lower_port, BytesView{frame});
+    // Backpressure asks the RMT to hold the PDU; any other failure is a
+    // drop (the upper EFCP recovers if its policy says so).
+    return r.ok() || r.error().code != Err::backpressure;
+  };
+  relay::PortIndex idx = upper->add_port(std::move(init));
+  lp->fa().set_flow_sink(
+      lower_port,
+      [upper, idx](Bytes&& sdu) { upper->on_port_frame(idx, BytesView{sdu}); },
+      [upper, idx] { upper->set_port_carrier(idx, false); });
+  return idx;
+}
+
+Result<void> Network::connect_overlay_members(const naming::DifName& dif,
+                                              const OverlayAdj& adj) {
+  Node& na = node(adj.a);
+  auto* upper = na.ipcp(dif);
+  if (upper == nullptr)
+    return {Err::not_found, adj.a + " has no IPCP for " + dif.str()};
+  auto* lp = na.ipcp(adj.lower);
+  if (lp == nullptr)
+    return {Err::not_found, adj.a + " is not a member of " + adj.lower.str()};
+
+  naming::AppName local = overlay_app(dif, adj.a);
+  naming::AppName remote = overlay_app(dif, adj.b);
+  std::string a = adj.a;
+  naming::DifName d = dif, low = adj.lower;
+  lp->fa().allocate(local, remote, adj.qos,
+                    [this, a, d, low](Result<flow::FlowInfo> r) {
+                      if (!r.ok()) return;  // lower DIF never converged
+                      relay::PortIndex idx =
+                          bind_overlay_port(a, d, low, r.value().port);
+                      node(a).ipcp(d)->start_port(idx);
+                    });
+  return Ok();
+}
+
+Result<relay::PortIndex> Network::make_overlay_port(const naming::DifName& dif,
+                                                    const OverlayAdj& adj,
+                                                    const std::string& for_node) {
+  Node& n = node(for_node);
+  auto* upper = n.ipcp(dif);
+  if (upper == nullptr)
+    return {Err::not_found, for_node + " has no IPCP for " + dif.str()};
+  auto* lp = n.ipcp(adj.lower);
+  if (lp == nullptr)
+    return {Err::not_found, for_node + " is not a member of " + adj.lower.str()};
+
+  // The lower flow is allocated asynchronously; until it is up, the port
+  // exists but transmits into the void (enrollment retries cover this).
+  auto bound = std::make_shared<std::optional<flow::PortId>>();
+  ipcp::Ipcp::PortInit init;
+  init.is_wire = false;
+  init.tx = [lp, bound](Bytes&& frame) {
+    if (!bound->has_value()) return true;  // dropped: not yet bound
+    auto r = lp->fa().write(bound->value(), BytesView{frame});
+    return r.ok() || r.error().code != Err::backpressure;
+  };
+  relay::PortIndex idx = upper->add_port(std::move(init));
+
+  naming::AppName local = overlay_app(dif, for_node);
+  naming::AppName remote = overlay_app(dif, adj.a == for_node ? adj.b : adj.a);
+  lp->fa().allocate(local, remote, adj.qos,
+                    [lp, upper, idx, bound](Result<flow::FlowInfo> r) {
+                      if (!r.ok()) return;
+                      *bound = r.value().port;
+                      lp->fa().set_flow_sink(
+                          r.value().port,
+                          [upper, idx](Bytes&& sdu) {
+                            upper->on_port_frame(idx, BytesView{sdu});
+                          },
+                          [upper, idx] { upper->set_port_carrier(idx, false); });
+                    });
+  return idx;
+}
+
+Result<void> Network::build_overlay_dif(DifSpec spec, std::vector<OverlayAdj> adjs) {
+  if (spec.cfg.name.str().empty()) return {Err::invalid, "DIF needs a name"};
+  DifEntry& entry = dif_entry(spec.cfg);
+  bootstrap_members(entry, spec);
+  for (const auto& adj : adjs) {
+    auto ra = register_overlay_member(spec.cfg.name, adj.a, adj.lower);
+    if (!ra.ok()) return ra;
+    auto rb = register_overlay_member(spec.cfg.name, adj.b, adj.lower);
+    if (!rb.ok()) return rb;
+  }
+  for (const auto& adj : adjs) {
+    auto rc = connect_overlay_members(spec.cfg.name, adj);
+    if (!rc.ok()) return rc;
+  }
+  // Let the lower flows come up and the overlay's routing converge. The
+  // slowest path is a directory-miss retry (100 ms) before the lower
+  // flow allocation, then LSU flood + debounced SPF.
+  sched_.run_for(SimTime::from_ms(400));
+  return Ok();
+}
+
+Result<std::pair<relay::PortIndex, relay::PortIndex>> Network::wire_ipcps(
+    const naming::DifName& dif, const std::string& a, const std::string& b) {
+  auto* pa = node(a).ipcp(dif);
+  auto* pb = node(b).ipcp(dif);
+  if (pa == nullptr || pb == nullptr)
+    return {Err::not_found, "both nodes need an IPCP for " + dif.str()};
+  int side_of_a = 0;
+  LinkRec* rec = find_unwired_link(a, b, pa->dif_id(), &side_of_a);
+  if (rec == nullptr)
+    return {Err::not_found, "no unwired link between " + a + " and " + b};
+  relay::PortIndex ia = wire_port(*rec, side_of_a, *pa);
+  relay::PortIndex ib = wire_port(*rec, 1 - side_of_a, *pb);
+  return std::pair<relay::PortIndex, relay::PortIndex>{ia, ib};
+}
+
+Result<void> Network::connect_members(const naming::DifName& dif,
+                                      const std::string& a, const std::string& b) {
+  auto wired = wire_ipcps(dif, a, b);
+  if (!wired.ok()) return wired.error();
+  node(a).ipcp(dif)->start_port(wired.value().first);
+  node(b).ipcp(dif)->start_port(wired.value().second);
+  return Ok();
+}
+
+Result<void> Network::attach_via_link(const naming::DifName& dif,
+                                      const std::string& newcomer,
+                                      const std::string& via) {
+  auto* entry = find_dif(dif);
+  if (entry == nullptr) return {Err::not_found, "no such DIF: " + dif.str()};
+  Node& n = node(newcomer);
+  auto* via_proc = node(via).ipcp(dif);
+  if (via_proc == nullptr)
+    return {Err::not_found, via + " is not a member of " + dif.str()};
+  ipcp::Ipcp& proc = n.create_ipcp(entry->cfg);
+
+  // Reuse an existing attachment over a newcomer—via link, else wire one.
+  relay::PortIndex idx;
+  if (Attach* at = find_attach(newcomer, via, proc.dif_id()); at != nullptr) {
+    idx = at->idx;
+  } else {
+    int side = 0;
+    LinkRec* rec = find_unwired_link(newcomer, via, proc.dif_id(), &side);
+    if (rec == nullptr)
+      return {Err::not_found, "no link between " + newcomer + " and " + via};
+    idx = wire_port(*rec, side, proc);
+    (void)wire_port(*rec, 1 - side, *via_proc);
+  }
+  return proc.enroll_via(idx);
+}
+
+std::uint64_t Network::sum_dif_counter(const naming::DifName& dif,
+                                       const std::string& counter) {
+  std::uint64_t total = 0;
+  for (auto& [name, n] : nodes_) {
+    auto* proc = n->ipcp(dif);
+    if (proc != nullptr) total += proc->counter_sum(counter);
+  }
+  return total;
+}
+
+}  // namespace rina::node

@@ -1,0 +1,216 @@
+// network.hpp — the simulation façade: processing systems (nodes), wires
+// between them, and the DIFs built over both.
+//
+// Network owns the scheduler, the links and the nodes; it is the
+// "operator console" the benches script: add links, build a rank-0 DIF
+// over wires (build_link_dif), stack an overlay DIF over N-1 flows
+// (build_overlay_dif), move members around (attach_via_link,
+// register_overlay_member, connect_overlay_members), and break things
+// (set_link_state). Everything it does decomposes into IPCP operations —
+// the façade contains no datapath of its own.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "dif/config.hpp"
+#include "flow/qos.hpp"
+#include "ipcp/ipcp.hpp"
+#include "naming/names.hpp"
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::node {
+
+struct LinkOpts {
+  double rate_bps = 1e9;
+  SimTime delay = SimTime::from_us(50);
+  std::size_t queue_pkts = 64;
+  std::optional<sim::GilbertElliottLoss::Params> gilbert_elliott;
+
+  [[nodiscard]] sim::LinkConfig to_config() const {
+    sim::LinkConfig cfg;
+    cfg.rate_bps = rate_bps;
+    cfg.delay = delay;
+    cfg.queue_pkts = queue_pkts;
+    cfg.ge = gilbert_elliott;
+    return cfg;
+  }
+};
+
+/// Blueprint for one DIF: its config, founding members and (optionally)
+/// explicit address assignments (for topological addressing).
+struct DifSpec {
+  dif::DifConfig cfg;
+  std::vector<std::string> members;
+  std::map<std::string, naming::Address> addresses;
+};
+
+class Network;
+
+/// One processing system: hosts IPC processes, one per DIF it belongs to.
+class Node : public ipcp::IpcpHost {
+ public:
+  Node(Network& net, std::string name);
+
+  // IpcpHost
+  [[nodiscard]] const std::string& node_name() const override { return name_; }
+  sim::Scheduler& sched() override;
+  naming::Address allocate_dif_address(const naming::DifName& dif) override;
+  flow::PortId allocate_port_id() override { return next_port_++; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  ipcp::Ipcp* ipcp(const naming::DifName& dif);
+  /// Instantiate an IPC process for `cfg.name` on this node. It starts
+  /// un-enrolled (the Network's DIF builders enroll founding members).
+  ipcp::Ipcp& create_ipcp(const dif::DifConfig& cfg);
+
+  Result<void> register_app(const naming::AppName& app, const naming::DifName& dif,
+                            flow::AppHandler handler);
+  void allocate_flow(const naming::AppName& local, const naming::AppName& remote,
+                     const flow::QosSpec& spec, flow::AllocateCallback cb);
+  void allocate_flow_on(const naming::DifName& dif, const naming::AppName& local,
+                        const naming::AppName& remote, const flow::QosSpec& spec,
+                        flow::AllocateCallback cb);
+  Result<void> write(flow::PortId port, BytesView sdu);
+
+ private:
+  friend class Network;
+  Network& net_;
+  std::string name_;
+  std::map<std::string, std::unique_ptr<ipcp::Ipcp>> ipcps_;  // by DIF name
+  flow::PortId next_port_ = 1;
+};
+
+class Network {
+ public:
+  /// One overlay adjacency: a and b become neighbors in the overlay DIF,
+  /// riding a flow in `lower` allocated with `qos`.
+  struct OverlayAdj {
+    std::string a;
+    std::string b;
+    naming::DifName lower;
+    flow::QosSpec qos;
+  };
+
+  explicit Network(std::uint64_t seed);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Scheduler& sched() { return sched_; }
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+  void run_for(SimTime d) { sched_.run_for(d); }
+  template <typename Pred>
+  bool run_until(Pred&& pred, SimTime timeout) {
+    return sched_.run_until_pred(pred, sched_.now() + timeout);
+  }
+
+  Node& node(const std::string& name);
+
+  sim::Link& add_link(const std::string& a, const std::string& b,
+                      const LinkOpts& opts = {});
+  sim::Link* link_between(const std::string& a, const std::string& b);
+  Result<void> set_link_state(const std::string& a, const std::string& b, bool up);
+
+  /// Build a rank-0 DIF directly over the wires among its members.
+  Result<void> build_link_dif(DifSpec spec);
+
+  /// Build a DIF whose neighbor attachments are flows in lower DIFs.
+  Result<void> build_overlay_dif(DifSpec spec, std::vector<OverlayAdj> adjs);
+
+  /// Register `node_name`'s IPC process of `dif` as an application in
+  /// `lower`, so overlay flows can be allocated *to* it there.
+  Result<void> register_overlay_member(const naming::DifName& dif,
+                                       const std::string& node_name,
+                                       const naming::DifName& lower);
+
+  /// Allocate the lower flow for one overlay adjacency and bring the
+  /// adjacency up (hello). Retries internally while the lower DIF
+  /// converges.
+  Result<void> connect_overlay_members(const naming::DifName& dif,
+                                       const OverlayAdj& adj);
+
+  /// Bind an overlay port for `for_node` over a lower flow per `adj`,
+  /// without saying hello — for explicit enrollment (enroll_via).
+  Result<relay::PortIndex> make_overlay_port(const naming::DifName& dif,
+                                             const OverlayAdj& adj,
+                                             const std::string& for_node);
+
+  /// Wire ports for `dif` on both ends of the (first unwired) a—b link,
+  /// with no greetings exchanged. Returns (a's port, b's port).
+  Result<std::pair<relay::PortIndex, relay::PortIndex>> wire_ipcps(
+      const naming::DifName& dif, const std::string& a, const std::string& b);
+
+  /// Wire an additional member-to-member link into an existing link DIF
+  /// (a new point of attachment) and exchange hellos.
+  Result<void> connect_members(const naming::DifName& dif, const std::string& a,
+                               const std::string& b);
+
+  /// A non-member joins a link DIF over its wire to `via`: creates (or
+  /// revives) the IPCP and starts enrollment.
+  Result<void> attach_via_link(const naming::DifName& dif,
+                               const std::string& newcomer,
+                               const std::string& via);
+
+  /// Sum a named counter over every member IPCP of `dif`.
+  std::uint64_t sum_dif_counter(const naming::DifName& dif,
+                                const std::string& counter);
+
+  naming::Address allocate_dif_address(const naming::DifName& dif);
+  std::uint32_t dif_id_for(const naming::DifName& dif);
+
+ private:
+  friend class Node;
+
+  struct Attach {
+    ipcp::Ipcp* proc;
+    relay::PortIndex idx;
+  };
+  struct LinkRec {
+    std::unique_ptr<sim::Link> link;
+    std::string a, b;
+    // Per-side DIF attachments; the NIC demultiplexes on the frame's
+    // dif-id prefix.
+    std::map<std::uint32_t, Attach> attach[2];
+  };
+  struct DifEntry {
+    dif::DifConfig cfg;
+    std::uint32_t id;
+    std::uint16_t next_addr = 1;
+  };
+
+  DifEntry& dif_entry(const dif::DifConfig& cfg);
+  DifEntry* find_dif(const naming::DifName& dif);
+  void bootstrap_members(DifEntry& entry, const DifSpec& spec);
+  relay::PortIndex wire_port(LinkRec& rec, int side, ipcp::Ipcp& proc);
+  LinkRec* find_unwired_link(const std::string& a, const std::string& b,
+                             std::uint32_t dif_id, int* side_of_a);
+  Attach* find_attach(const std::string& node_name, const std::string& peer,
+                      std::uint32_t dif_id);
+  relay::PortIndex bind_overlay_port(const std::string& node_name,
+                                     const naming::DifName& dif,
+                                     const naming::DifName& lower,
+                                     flow::PortId lower_port);
+  static naming::AppName overlay_app(const naming::DifName& dif,
+                                     const std::string& node_name);
+
+  sim::Scheduler sched_;
+  std::uint64_t seed_;
+  std::uint64_t link_seq_ = 0;
+  std::uint32_t next_dif_id_ = 1;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<LinkRec>> links_;
+  std::map<std::string, DifEntry> difs_;
+  std::set<std::string> overlay_registered_;  // "<dif>\n<node>\n<lower>"
+};
+
+}  // namespace rina::node

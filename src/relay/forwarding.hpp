@@ -1,0 +1,105 @@
+// forwarding.hpp — the two-step forwarding table.
+//
+// Step 1 (routing): destination address -> set of next-hop *nodes*
+// (equal-cost). Step 2 (late binding): next-hop node -> the point of
+// attachment (port) used *right now*. Because step 2 is resolved per-PDU
+// against live port state, losing one PoA to a still-reachable neighbor
+// moves traffic on the very next PDU with zero routing activity — the
+// paper's Figure 4 claim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "naming/names.hpp"
+
+namespace rina::relay {
+
+/// RMT-level port handle: one lower-level attachment (wire or N-1 flow).
+using PortIndex = std::uint32_t;
+
+enum class PoaPolicy {
+  first_up,     // deterministic: first live PoA in discovery order
+  round_robin,  // spread PDUs across live PoAs
+};
+
+enum class RmtSched {
+  fifo,      // single egress queue per port
+  priority,  // queue ordered by QoS class (lower qos_id first)
+};
+
+class ForwardingTable {
+ public:
+  using PortUpFn = std::function<bool(PortIndex)>;
+
+  void set_next_hops(naming::Address dest, std::vector<naming::Address> hops) {
+    next_hops_[dest] = std::move(hops);
+  }
+
+  void set_neighbor_ports(naming::Address neighbor, std::vector<PortIndex> ports) {
+    neighbor_ports_[neighbor] = std::move(ports);
+  }
+
+  void set_poa_policy(PoaPolicy p) { policy_ = p; }
+  [[nodiscard]] PoaPolicy poa_policy() const { return policy_; }
+
+  void clear_routes() { next_hops_.clear(); }
+  void clear() {
+    next_hops_.clear();
+    neighbor_ports_.clear();
+  }
+
+  [[nodiscard]] std::size_t entry_count() const { return next_hops_.size(); }
+
+  /// Two-step lookup: pick a next-hop node for `dest` (falling back to the
+  /// region-wildcard entry if the DIF aggregates), then bind to a live
+  /// port toward it. `up` reports current port liveness.
+  [[nodiscard]] std::optional<PortIndex> lookup(naming::Address dest,
+                                                const PortUpFn& up) const {
+    const std::vector<naming::Address>* hops = find_hops(dest);
+    if (hops == nullptr) hops = find_hops(dest.region_wildcard());
+    if (hops == nullptr) return std::nullopt;
+    for (const naming::Address& nh : *hops) {
+      auto pit = neighbor_ports_.find(nh);
+      if (pit == neighbor_ports_.end() || pit->second.empty()) continue;
+      const auto& ports = pit->second;
+      if (policy_ == PoaPolicy::round_robin) {
+        std::size_t n = ports.size();
+        std::size_t& rr = rr_state_[nh];
+        for (std::size_t i = 0; i < n; ++i) {
+          PortIndex p = ports[(rr + i) % n];
+          if (up(p)) {
+            rr = (rr + i + 1) % n;
+            return p;
+          }
+        }
+      } else {
+        for (PortIndex p : ports)
+          if (up(p)) return p;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const std::map<naming::Address, std::vector<naming::Address>>&
+  routes() const {
+    return next_hops_;
+  }
+
+ private:
+  [[nodiscard]] const std::vector<naming::Address>* find_hops(
+      naming::Address key) const {
+    auto it = next_hops_.find(key);
+    return it == next_hops_.end() ? nullptr : &it->second;
+  }
+
+  std::map<naming::Address, std::vector<naming::Address>> next_hops_;
+  std::map<naming::Address, std::vector<PortIndex>> neighbor_ports_;
+  PoaPolicy policy_ = PoaPolicy::first_up;
+  mutable std::map<naming::Address, std::size_t> rr_state_;
+};
+
+}  // namespace rina::relay

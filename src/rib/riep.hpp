@@ -1,0 +1,118 @@
+// riep.hpp — the Resource Information Base and its exchange protocol.
+//
+// All management in a DIF — enrollment, directory dissemination, routing
+// updates, flow allocation — is reading and writing named objects in the
+// members' RIBs. RIEP is the one wire format for those operations; the
+// object class selects the handler, so "the management protocol" is a
+// dispatch table over RIB object classes rather than a zoo of separate
+// protocols.
+//
+// Wire layout: u8 op | u32 invoke_id | lp16 obj_name | lp16 obj_class |
+//              lp32 value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace rina::rib {
+
+enum class RiepOp : std::uint8_t {
+  create = 1,
+  remove = 2,
+  read = 3,
+  write = 4,
+  start = 5,
+  stop = 6,
+  reply = 7,
+};
+
+struct RiepMessage {
+  RiepOp op = RiepOp::read;
+  std::uint32_t invoke_id = 0;
+  std::string obj_name;
+  std::string obj_class;
+  Bytes value;
+
+  [[nodiscard]] Bytes encode() const {
+    BufWriter w(16 + obj_name.size() + obj_class.size() + value.size());
+    w.put_u8(static_cast<std::uint8_t>(op));
+    w.put_u32(invoke_id);
+    w.put_lpstring(obj_name);
+    w.put_lpstring(obj_class);
+    w.put_lpbytes(BytesView{value});
+    return std::move(w).take();
+  }
+
+  static Result<RiepMessage> decode(BytesView wire) {
+    BufReader r(wire);
+    RiepMessage m;
+    std::uint8_t op = r.get_u8();
+    m.invoke_id = r.get_u32();
+    m.obj_name = r.get_lpstring();
+    m.obj_class = r.get_lpstring();
+    m.value = r.get_lpbytes();
+    if (!r.ok()) return {Err::decode, "short RIEP message"};
+    if (op < 1 || op > 7) return {Err::decode, "bad RIEP op"};
+    if (r.remaining() != 0) return {Err::decode, "trailing RIEP bytes"};
+    m.op = static_cast<RiepOp>(op);
+    return m;
+  }
+};
+
+/// One member's object store. Objects are (name, class, value); names are
+/// hierarchical by convention ("/dif/directory/<app>", "/routing/lsu/<addr>").
+class Rib {
+ public:
+  Result<void> create(const std::string& name, std::string obj_class, Bytes value) {
+    auto [it, inserted] =
+        objects_.emplace(name, Object{std::move(obj_class), std::move(value), 0});
+    if (!inserted) return {Err::already_exists, name};
+    return Ok();
+  }
+
+  Result<void> write(const std::string& name, Bytes value) {
+    auto it = objects_.find(name);
+    if (it == objects_.end()) return {Err::not_found, name};
+    it->second.value = std::move(value);
+    ++it->second.version;
+    return Ok();
+  }
+
+  /// Create-or-write: dissemination upserts remote state.
+  void upsert(const std::string& name, const std::string& obj_class, Bytes value) {
+    auto it = objects_.find(name);
+    if (it == objects_.end()) {
+      objects_.emplace(name, Object{obj_class, std::move(value), 0});
+    } else {
+      it->second.value = std::move(value);
+      ++it->second.version;
+    }
+  }
+
+  [[nodiscard]] Result<Bytes> read(const std::string& name) const {
+    auto it = objects_.find(name);
+    if (it == objects_.end()) return {Err::not_found, name};
+    return it->second.value;
+  }
+
+  Result<void> remove(const std::string& name) {
+    if (objects_.erase(name) == 0) return {Err::not_found, name};
+    return Ok();
+  }
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+ private:
+  struct Object {
+    std::string obj_class;
+    Bytes value;
+    std::uint64_t version;
+  };
+  std::map<std::string, Object> objects_;
+};
+
+}  // namespace rina::rib

@@ -1,0 +1,196 @@
+// link.hpp — the physical layer: point-to-point links with rate,
+// propagation delay, a bounded tx FIFO, and optional Gilbert-Elliott
+// burst loss.
+//
+// A link is two independent directions sharing an up/down state. Each
+// endpoint exposes exactly one receiver, one ready callback and one
+// carrier callback; the owning node demultiplexes from there. send()
+// returns false only on tx-FIFO overflow — that is the backpressure
+// signal the RMT turns into queueing above the NIC. Frames in flight
+// when the link goes down are lost (epoch check at delivery).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::sim {
+
+class GilbertElliottLoss {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.0;
+    double p_bad_to_good = 0.3;
+    double loss_good = 0.0;
+    double loss_bad = 0.5;
+  };
+
+  explicit GilbertElliottLoss(Params p) : p_(p) {}
+
+  /// Advance the channel state one frame and sample whether it is lost.
+  bool lose(std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (bad_) {
+      if (u(rng) < p_.p_bad_to_good) bad_ = false;
+    } else {
+      if (u(rng) < p_.p_good_to_bad) bad_ = true;
+    }
+    return u(rng) < (bad_ ? p_.loss_bad : p_.loss_good);
+  }
+
+ private:
+  Params p_;
+  bool bad_ = false;
+};
+
+struct LinkConfig {
+  double rate_bps = 1e9;
+  SimTime delay = SimTime::from_us(50);
+  std::size_t queue_pkts = 64;
+  std::optional<GilbertElliottLoss::Params> ge;
+};
+
+class Link {
+ public:
+  class Endpoint;
+
+  Link(Scheduler& sched, LinkConfig cfg, std::uint64_t seed, std::string a,
+       std::string b)
+      : sched_(sched),
+        cfg_(cfg),
+        rng_(seed),
+        name_a_(std::move(a)),
+        name_b_(std::move(b)),
+        ep_{Endpoint{this, 0}, Endpoint{this, 1}} {
+    if (cfg_.ge) {
+      dir_[0].ge.emplace(*cfg_.ge);
+      dir_[1].ge.emplace(*cfg_.ge);
+    }
+  }
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  class Endpoint {
+   public:
+    Endpoint(Link* l, int side) : link_(l), side_(side) {}
+
+    /// Queue a frame for transmission. False = tx FIFO full (caller may
+    /// hold the frame and retry on ready). Frames sent into a down link
+    /// are silently lost, as on real media.
+    bool send(Bytes&& frame) { return link_->send_from(side_, std::move(frame)); }
+
+    void set_receiver(std::function<void(Bytes&&)> fn) {
+      link_->dir_[1 - side_].deliver = std::move(fn);
+    }
+    void set_on_ready(std::function<void()> fn) {
+      link_->dir_[side_].on_ready = std::move(fn);
+    }
+    void set_on_carrier(std::function<void(bool)> fn) {
+      link_->carrier_cb_[side_] = std::move(fn);
+    }
+
+    [[nodiscard]] bool carrier() const { return link_->up_; }
+    [[nodiscard]] Link& link() { return *link_; }
+    [[nodiscard]] const std::string& peer_name() const {
+      return side_ == 0 ? link_->name_b_ : link_->name_a_;
+    }
+    [[nodiscard]] const std::string& local_name() const {
+      return side_ == 0 ? link_->name_a_ : link_->name_b_;
+    }
+
+   private:
+    Link* link_;
+    int side_;
+  };
+
+  Endpoint& a() { return ep_[0]; }
+  Endpoint& b() { return ep_[1]; }
+  Endpoint& ep(int side) { return ep_[side]; }
+
+  [[nodiscard]] bool up() const noexcept { return up_; }
+  [[nodiscard]] const std::string& name_a() const { return name_a_; }
+  [[nodiscard]] const std::string& name_b() const { return name_b_; }
+
+  void set_up(bool up) {
+    if (up_ == up) return;
+    up_ = up;
+    if (!up) ++epoch_;  // in-flight frames die with the carrier
+    for (int s = 0; s < 2; ++s)
+      if (carrier_cb_[s]) carrier_cb_[s](up);
+  }
+
+  Stats& stats() { return stats_; }
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+
+ private:
+  struct Direction {
+    SimTime busy_until{};
+    std::size_t queued = 0;
+    std::function<void(Bytes&&)> deliver;
+    std::function<void()> on_ready;
+    std::optional<GilbertElliottLoss> ge;
+  };
+
+  bool send_from(int side, Bytes&& frame) {
+    Direction& d = dir_[side];
+    stats_.inc("tx_attempts");
+    if (!up_) {
+      stats_.inc("tx_carrier_lost");
+      return true;  // accepted and lost: dead fiber, not backpressure
+    }
+    if (d.queued >= cfg_.queue_pkts) {
+      stats_.inc("queue_drops");
+      return false;
+    }
+    ++d.queued;
+    stats_.inc("tx_frames");
+    stats_.inc("tx_bytes", frame.size());
+    if (frame.size() >= 512) stats_.inc("tx_frames_large");
+
+    SimTime tx_time =
+        SimTime::from_sec(static_cast<double>(frame.size()) * 8.0 / cfg_.rate_bps);
+    SimTime start = sched_.now() < d.busy_until ? d.busy_until : sched_.now();
+    d.busy_until = start + tx_time;
+    bool lost = d.ge && d.ge->lose(rng_);
+    if (lost) stats_.inc("ge_lost");
+    std::uint64_t epoch = epoch_;
+
+    // Serialization completes: free the FIFO slot.
+    sched_.schedule_at(d.busy_until, [this, side] {
+      Direction& dd = dir_[side];
+      bool was_full = dd.queued >= cfg_.queue_pkts;
+      if (dd.queued > 0) --dd.queued;
+      if (was_full && dd.on_ready) dd.on_ready();
+    });
+    // Propagation completes: deliver unless lost or carrier died meanwhile.
+    sched_.schedule_at(d.busy_until + cfg_.delay,
+                       [this, side, epoch, lost, f = std::move(frame)]() mutable {
+                         if (lost || !up_ || epoch != epoch_) return;
+                         Direction& dd = dir_[side];
+                         stats_.inc("rx_frames");
+                         if (dd.deliver) dd.deliver(std::move(f));
+                       });
+    return true;
+  }
+
+  Scheduler& sched_;
+  LinkConfig cfg_;
+  std::mt19937_64 rng_;
+  std::string name_a_, name_b_;
+  Direction dir_[2];
+  Endpoint ep_[2];
+  std::function<void(bool)> carrier_cb_[2];
+  bool up_ = true;
+  std::uint64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rina::sim

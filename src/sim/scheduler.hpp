@@ -1,0 +1,91 @@
+// scheduler.hpp — deterministic discrete-event loop.
+//
+// One binary heap of (time, insertion seq, closure). Ties break on
+// insertion order, so a run is a pure function of the event program and the
+// seeds — the property every bench leans on for reproducible tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rina::sim {
+
+class Scheduler {
+ public:
+  using Fn = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  void schedule_at(SimTime t, Fn fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  void schedule_after(SimTime delay, Fn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the event queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run all events with time <= t, then advance now to t.
+  void run_until(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    if (now_ < t) now_ = t;
+  }
+
+  void run_for(SimTime d) { run_until(now_ + d); }
+
+  /// Run events until `pred()` holds or the clock would pass `deadline`.
+  /// Returns pred()'s final value. Checks pred between events, so it fires
+  /// as soon as the enabling event has run.
+  template <typename Pred>
+  bool run_until_pred(Pred&& pred, SimTime deadline) {
+    for (;;) {
+      if (pred()) return true;
+      if (queue_.empty() || queue_.top().time > deadline) {
+        if (now_ < deadline) now_ = deadline;
+        return pred();
+      }
+      step();
+    }
+  }
+
+  /// Pop and run the next event. False if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Move the closure out before running: the handler may schedule.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (now_ < ev.time) now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Fn fn;
+    bool operator>(const Event& o) const {
+      if (time.ns != o.time.ns) return time.ns > o.time.ns;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_{};
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace rina::sim

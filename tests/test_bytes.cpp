@@ -1,0 +1,92 @@
+// test_bytes — BufReader/BufWriter round trips, short-read latching, and
+// Result<T> error paths.
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+#include "test_util.hpp"
+
+using namespace rina;
+
+static void roundtrip() {
+  BufWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x1234);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_lpstring("hello");
+  w.put_lpbytes(to_bytes("payload"));
+  Bytes b = std::move(w).take();
+
+  BufReader r{BytesView{b}};
+  CHECK(r.get_u8() == 0xAB);
+  CHECK(r.get_u16() == 0x1234);
+  CHECK(r.get_u32() == 0xDEADBEEF);
+  CHECK(r.get_u64() == 0x0123456789ABCDEFULL);
+  CHECK(r.get_lpstring() == "hello");
+  CHECK(to_string(BytesView{r.get_lpbytes()}) == "payload");
+  CHECK(r.ok());
+  CHECK(r.remaining() == 0);
+}
+
+static void short_read_latches() {
+  Bytes b{0x01, 0x02};
+  BufReader r{BytesView{b}};
+  CHECK(r.get_u32() == 0);  // underflow yields zero...
+  CHECK(!r.ok());           // ...and latches failure
+  CHECK(r.get_u64() == 0);  // further reads stay zero
+  CHECK(r.get_bytes(10).empty());
+  CHECK(!r.ok());
+}
+
+static void lp_overrun_is_safe() {
+  // A length prefix larger than the buffer must not read out of range.
+  BufWriter w;
+  w.put_u16(9999);
+  Bytes b = std::move(w).take();
+  BufReader r{BytesView{b}};
+  CHECK(r.get_lpstring().empty());
+  CHECK(!r.ok());
+}
+
+static void views() {
+  Bytes b = to_bytes("abcdef");
+  BytesView v{b};
+  CHECK(v.size() == 6);
+  CHECK(v.subview(2).size() == 4);
+  CHECK(v.subview(2)[0] == 'c');
+  CHECK(v.subview(99).empty());
+  CHECK(v.first(3).size() == 3);
+  CHECK(v.first(99).size() == 6);
+}
+
+static void result_paths() {
+  Result<int> ok{41};
+  CHECK(ok.ok());
+  CHECK(ok.value() == 41);
+
+  Result<int> err{Err::timeout, "too slow"};
+  CHECK(!err.ok());
+  CHECK(err.error().code == Err::timeout);
+  CHECK(err.error().to_string() == "timeout: too slow");
+
+  Result<void> vok = Ok();
+  CHECK(vok.ok());
+  Result<void> verr{Err::flow_closed};
+  CHECK(!verr.ok());
+  CHECK(verr.error().code == Err::flow_closed);
+  CHECK(verr.error().to_string() == std::string("flow-closed"));
+
+  // Error propagation out of a Result of a different type.
+  Result<std::pair<int, int>> perr{Error{Err::not_found, "x"}};
+  CHECK(!perr.ok());
+  CHECK(perr.error().code == Err::not_found);
+}
+
+int main() {
+  roundtrip();
+  short_read_latches();
+  lp_overrun_is_safe();
+  views();
+  result_paths();
+  return TEST_MAIN_RESULT();
+}

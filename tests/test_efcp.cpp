@@ -1,0 +1,164 @@
+// test_efcp — EFCP connection pairs wired back to back: in-order
+// delivery under loss, retransmission accounting, window backpressure,
+// and the unreliable policy.
+#include "efcp/connection.hpp"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+
+using namespace rina;
+
+namespace {
+
+struct Pair {
+  sim::Scheduler sched;
+  efcp::Connection* a = nullptr;
+  efcp::Connection* b = nullptr;
+  std::vector<std::string> delivered;
+  int drop_every = 0;  // drop every Nth a->b data PDU (0 = never)
+  int a_to_b_count = 0;
+
+  std::unique_ptr<efcp::Connection> ca, cb;
+
+  explicit Pair(const efcp::EfcpPolicies& pol) {
+    efcp::ConnectionId ida{naming::Address{1, 1}, naming::Address{1, 2}, 1, 2, 0};
+    efcp::ConnectionId idb{naming::Address{1, 2}, naming::Address{1, 1}, 2, 1, 0};
+    ca = std::make_unique<efcp::Connection>(
+        sched, pol, ida,
+        [this](efcp::Pdu&& p) {
+          if (p.pci.type == efcp::PduType::data && drop_every > 0 &&
+              ++a_to_b_count % drop_every == 0 &&
+              (p.pci.flags & efcp::kFlagRetransmit) == 0)
+            return;  // lost on the wire
+          b->on_pdu(p.pci, BytesView{p.payload});
+        },
+        [](Bytes&&) {});
+    cb = std::make_unique<efcp::Connection>(
+        sched, pol, idb,
+        [this](efcp::Pdu&& p) { a->on_pdu(p.pci, BytesView{p.payload}); },
+        [this](Bytes&& sdu) { delivered.push_back(to_string(BytesView{sdu})); });
+    a = ca.get();
+    b = cb.get();
+  }
+};
+
+}  // namespace
+
+static void lossless_in_order() {
+  Pair p{efcp::EfcpPolicies{}};
+  for (int i = 0; i < 50; ++i)
+    CHECK(p.a->write_sdu(BytesView{to_bytes("m" + std::to_string(i))}).ok());
+  p.sched.run();
+  CHECK(p.delivered.size() == 50);
+  CHECK(p.delivered.front() == "m0");
+  CHECK(p.delivered.back() == "m49");
+  CHECK(p.a->stats().get("pdus_retx") == 0);
+}
+
+static void loss_recovered_in_order() {
+  Pair p{efcp::EfcpPolicies{}};
+  p.drop_every = 5;
+  for (int i = 0; i < 100; ++i)
+    CHECK(p.a->write_sdu(BytesView{to_bytes("m" + std::to_string(i))}).ok());
+  p.sched.run();
+  CHECK(p.delivered.size() == 100);
+  // In-order despite the losses.
+  for (int i = 0; i < 100; ++i) CHECK(p.delivered[static_cast<size_t>(i)] == "m" + std::to_string(i));
+  CHECK(p.a->stats().get("pdus_retx") >= 100 / 5);
+}
+
+static void window_backpressure() {
+  efcp::EfcpPolicies pol;
+  pol.window = 4;
+  pol.send_queue = 4;
+  Pair p{pol};
+  p.drop_every = 1;  // black hole: nothing gets through, window never opens
+  int accepted = 0, refused = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto r = p.a->write_sdu(BytesView{to_bytes("x")});
+    if (r.ok()) {
+      ++accepted;
+    } else {
+      ++refused;
+      CHECK(r.error().code == Err::backpressure);
+    }
+  }
+  CHECK(accepted == 8);  // window + send queue
+  CHECK(refused == 12);
+  CHECK(p.a->stats().get("write_refused") == 12);
+}
+
+static void unreliable_policy() {
+  efcp::EfcpPolicies pol = efcp::EfcpPolicies::from_policy_name("unreliable");
+  CHECK(!pol.reliable);
+  Pair p{pol};
+  p.drop_every = 4;
+  for (int i = 0; i < 40; ++i)
+    CHECK(p.a->write_sdu(BytesView{to_bytes("u")}).ok());  // never refuses
+  p.sched.run();
+  CHECK(p.delivered.size() == 30);  // losses stay lost
+  CHECK(p.a->stats().get("pdus_retx") == 0);
+  CHECK(p.b->stats().get("acks_tx") == 0);
+}
+
+static void reliable_unordered_delivers_immediately() {
+  efcp::EfcpPolicies pol;
+  pol.in_order = false;
+  Pair p{pol};
+  p.drop_every = 5;  // losses must not head-of-line-block delivery
+  for (int i = 0; i < 50; ++i)
+    CHECK(p.a->write_sdu(BytesView{to_bytes("m" + std::to_string(i))}).ok());
+  p.sched.run();
+  // Everything arrives exactly once (retransmissions recognized) but the
+  // arrival order is not the send order.
+  CHECK(p.delivered.size() == 50);
+  std::set<std::string> uniq(p.delivered.begin(), p.delivered.end());
+  CHECK(uniq.size() == 50);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < p.delivered.size(); ++i) {
+    int cur = std::atoi(p.delivered[i].c_str() + 1);
+    int prev = std::atoi(p.delivered[i - 1].c_str() + 1);
+    if (cur < prev) out_of_order = true;
+  }
+  CHECK(out_of_order);
+}
+
+static void wireless_policy_is_tighter() {
+  auto wh = efcp::EfcpPolicies::from_policy_name("wireless-hop");
+  auto def = efcp::EfcpPolicies::from_policy_name("reliable");
+  CHECK(wh.min_rto < def.min_rto);
+  CHECK(wh.initial_rto < def.initial_rto);
+  CHECK(wh.reliable);
+}
+
+static void duplicate_pdus_ignored() {
+  Pair p{efcp::EfcpPolicies{}};
+  CHECK(p.a->write_sdu(BytesView{to_bytes("once")}).ok());
+  p.sched.run();
+  CHECK(p.delivered.size() == 1);
+  // Replay the same data PDU straight into b.
+  efcp::Pci pci;
+  pci.type = efcp::PduType::data;
+  pci.seq = 0;
+  pci.dest_cep = 2;
+  pci.src_cep = 1;
+  Bytes payload = to_bytes("once");
+  p.b->on_pdu(pci, BytesView{payload});
+  p.sched.run();
+  CHECK(p.delivered.size() == 1);
+  CHECK(p.b->stats().get("pdus_dup") == 1);
+}
+
+int main() {
+  lossless_in_order();
+  loss_recovered_in_order();
+  window_backpressure();
+  unreliable_policy();
+  reliable_unordered_delivers_immediately();
+  wireless_policy_is_tighter();
+  duplicate_pdus_ignored();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,122 @@
+// test_fib — Dijkstra with equal-cost sets, two-step forwarding lookups
+// (late PoA binding, round-robin), region aggregation, and the directory.
+#include "naming/directory.hpp"
+#include "relay/forwarding.hpp"
+#include "routing/graph.hpp"
+
+#include <set>
+
+#include "test_util.hpp"
+
+using namespace rina;
+using naming::Address;
+
+static void dijkstra_basic() {
+  routing::Graph g;
+  Address a{1, 1}, b{1, 2}, c{1, 3}, d{1, 4};
+  g.add_edge(a, b, 1);
+  g.add_edge(b, a, 1);
+  g.add_edge(b, c, 1);
+  g.add_edge(c, b, 1);
+  g.add_edge(a, d, 1);
+  g.add_edge(d, a, 1);
+  g.add_edge(d, c, 1);
+  g.add_edge(c, d, 1);
+  CHECK(g.node_count() == 4);
+
+  auto spf = g.dijkstra(a);
+  CHECK(spf.entries.at(b).dist == 1);
+  CHECK(spf.entries.at(b).next_hops == std::vector<Address>{b});
+  // Two equal-cost paths to c: via b and via d.
+  CHECK(spf.entries.at(c).dist == 2);
+  std::set<Address> hops(spf.entries.at(c).next_hops.begin(),
+                         spf.entries.at(c).next_hops.end());
+  CHECK(hops == (std::set<Address>{b, d}));
+}
+
+static void dijkstra_prefers_shorter() {
+  routing::Graph g;
+  Address a{1, 1}, b{1, 2}, c{1, 3};
+  g.add_edge(a, b, 10);
+  g.add_edge(a, c, 1);
+  g.add_edge(c, b, 1);
+  auto spf = g.dijkstra(a);
+  CHECK(spf.entries.at(b).dist == 2);
+  CHECK(spf.entries.at(b).next_hops == std::vector<Address>{c});
+}
+
+static void two_step_lookup() {
+  relay::ForwardingTable fib;
+  Address dest{1, 50}, nh{1, 2};
+  fib.set_next_hops(dest, {nh});
+  fib.set_neighbor_ports(nh, {0, 1, 2});
+  CHECK(fib.entry_count() == 1);
+
+  auto all_up = [](relay::PortIndex) { return true; };
+  CHECK(fib.lookup(dest, all_up).value() == 0u);
+
+  // Step 2 is late-bound: kill PoA 0, the very next lookup moves.
+  auto first_down = [](relay::PortIndex p) { return p != 0; };
+  CHECK(fib.lookup(dest, first_down).value() == 1u);
+
+  auto all_down = [](relay::PortIndex) { return false; };
+  CHECK(!fib.lookup(dest, all_down).has_value());
+  CHECK(!fib.lookup(Address{9, 9}, all_up).has_value());
+}
+
+static void round_robin_poa() {
+  relay::ForwardingTable fib;
+  Address dest{1, 50}, nh{1, 2};
+  fib.set_next_hops(dest, {nh});
+  fib.set_neighbor_ports(nh, {0, 1});
+  fib.set_poa_policy(relay::PoaPolicy::round_robin);
+  auto all_up = [](relay::PortIndex) { return true; };
+  auto p1 = fib.lookup(dest, all_up).value();
+  auto p2 = fib.lookup(dest, all_up).value();
+  auto p3 = fib.lookup(dest, all_up).value();
+  CHECK(p1 != p2);
+  CHECK(p1 == p3);
+}
+
+static void region_aggregation() {
+  relay::ForwardingTable fib;
+  Address nh{1, 2};
+  fib.set_neighbor_ports(nh, {4});
+  // One wildcard entry covers the whole foreign region 7.
+  fib.set_next_hops(Address{7, 0}, {nh});
+  auto all_up = [](relay::PortIndex) { return true; };
+  CHECK(fib.lookup(Address{7, 31}, all_up).value() == 4u);
+  CHECK(fib.lookup(Address{7, 99}, all_up).value() == 4u);
+  CHECK(!fib.lookup(Address{8, 1}, all_up).has_value());
+  // An exact entry beats the wildcard.
+  Address other{1, 3};
+  fib.set_neighbor_ports(other, {9});
+  fib.set_next_hops(Address{7, 31}, {other});
+  CHECK(fib.lookup(Address{7, 31}, all_up).value() == 9u);
+}
+
+static void directory() {
+  naming::Directory dir;
+  naming::AppName app("web", "1"), app2("db");
+  dir.add(app, Address{1, 5});
+  dir.add(app2, Address{1, 6});
+  CHECK(dir.lookup(app).value() == (Address{1, 5}));
+  CHECK(!dir.lookup(naming::AppName("nope")).has_value());
+  // Names resolve inside the DIF only; instance is part of the name.
+  CHECK(!dir.lookup(naming::AppName("web", "2")).has_value());
+  dir.remove_at(Address{1, 5});
+  CHECK(!dir.lookup(app).has_value());
+  CHECK(dir.lookup(app2).has_value());
+  dir.remove(app2);
+  CHECK(dir.size() == 0);
+}
+
+int main() {
+  dijkstra_basic();
+  dijkstra_prefers_shorter();
+  two_step_lookup();
+  round_robin_poa();
+  region_aggregation();
+  directory();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,117 @@
+// test_pci — EFCP PCI encode -> decode identity and corrupt-frame
+// rejection, plus RIEP message round trips.
+#include "efcp/pci.hpp"
+#include "rib/riep.hpp"
+
+#include "test_util.hpp"
+
+using namespace rina;
+
+static void pdu_roundtrip() {
+  efcp::Pdu p;
+  p.pci.type = efcp::PduType::data;
+  p.pci.flags = efcp::kFlagFirstFrag | efcp::kFlagLastFrag | efcp::kFlagRetransmit;
+  p.pci.qos_id = 7;
+  p.pci.dest = naming::Address{3, 42};
+  p.pci.src = naming::Address{1, 9};
+  p.pci.dest_cep = 1001;
+  p.pci.src_cep = 2002;
+  p.pci.ttl = 13;
+  p.pci.seq = 0xFEEDFACECAFEF00DULL;
+  p.payload = to_bytes("the quick brown fox");
+
+  Bytes wire = p.encode();
+  auto d = efcp::Pdu::decode(BytesView{wire});
+  CHECK(d.ok());
+  const efcp::Pdu& q = d.value();
+  CHECK(q.pci.type == p.pci.type);
+  CHECK(q.pci.flags == p.pci.flags);
+  CHECK(q.pci.qos_id == p.pci.qos_id);
+  CHECK(q.pci.dest == p.pci.dest);
+  CHECK(q.pci.src == p.pci.src);
+  CHECK(q.pci.dest_cep == p.pci.dest_cep);
+  CHECK(q.pci.src_cep == p.pci.src_cep);
+  CHECK(q.pci.ttl == p.pci.ttl);
+  CHECK(q.pci.seq == p.pci.seq);
+  CHECK(q.payload == p.payload);
+}
+
+static void pdu_empty_payload() {
+  efcp::Pdu p;
+  p.pci.type = efcp::PduType::ack;
+  p.pci.seq = 5;
+  Bytes wire = p.encode();
+  auto d = efcp::Pdu::decode(BytesView{wire});
+  CHECK(d.ok());
+  CHECK(d.value().payload.empty());
+  CHECK(d.value().pci.seq == 5);
+}
+
+static void pdu_corrupt() {
+  efcp::Pdu p;
+  p.payload = to_bytes("x");
+  Bytes wire = p.encode();
+
+  // Truncated header.
+  CHECK(!efcp::Pdu::decode(BytesView{wire}.first(10)).ok());
+  // Truncated payload (length mismatch).
+  CHECK(!efcp::Pdu::decode(BytesView{wire}.first(wire.size() - 1)).ok());
+  // Bad version.
+  Bytes bad = wire;
+  bad[0] = 99;
+  CHECK(!efcp::Pdu::decode(BytesView{bad}).ok());
+  // Bad type.
+  bad = wire;
+  bad[1] = 0;
+  CHECK(!efcp::Pdu::decode(BytesView{bad}).ok());
+  // Empty frame.
+  CHECK(!efcp::Pdu::decode(BytesView{}).ok());
+}
+
+static void riep_roundtrip() {
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::write;
+  m.invoke_id = 424242;
+  m.obj_name = "/routing/lsdb/3.7";
+  m.obj_class = "LSU";
+  m.value = to_bytes("opaque");
+  Bytes wire = m.encode();
+  auto d = rib::RiepMessage::decode(BytesView{wire});
+  CHECK(d.ok());
+  CHECK(d.value().op == rib::RiepOp::write);
+  CHECK(d.value().invoke_id == 424242);
+  CHECK(d.value().obj_name == m.obj_name);
+  CHECK(d.value().obj_class == m.obj_class);
+  CHECK(d.value().value == m.value);
+
+  CHECK(!rib::RiepMessage::decode(BytesView{wire}.first(3)).ok());
+  Bytes bad = wire;
+  bad[0] = 0;  // invalid op
+  CHECK(!rib::RiepMessage::decode(BytesView{bad}).ok());
+}
+
+static void rib_ops() {
+  rib::Rib rib;
+  CHECK(rib.create("/a/b", "Blob", to_bytes("v1")).ok());
+  CHECK(!rib.create("/a/b", "Blob", to_bytes("v2")).ok());  // duplicate
+  CHECK(rib.write("/a/b", to_bytes("v2")).ok());
+  CHECK(!rib.write("/missing", to_bytes("x")).ok());
+  auto r = rib.read("/a/b");
+  CHECK(r.ok());
+  CHECK(to_string(BytesView{r.value()}) == "v2");
+  CHECK(!rib.read("/missing").ok());
+  CHECK(rib.remove("/a/b").ok());
+  CHECK(!rib.remove("/a/b").ok());
+  rib.upsert("/c", "Blob", to_bytes("x"));
+  rib.upsert("/c", "Blob", to_bytes("y"));
+  CHECK(rib.size() == 1);
+}
+
+int main() {
+  pdu_roundtrip();
+  pdu_empty_payload();
+  pdu_corrupt();
+  riep_roundtrip();
+  rib_ops();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,151 @@
+// test_scheduler — event ordering, tie-breaking determinism, run_until
+// semantics, SimTime arithmetic, and link rate/loss behavior.
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+
+#include <vector>
+
+#include "test_util.hpp"
+
+using namespace rina;
+
+static void simtime_math() {
+  CHECK(SimTime::from_us(1).ns == 1000);
+  CHECK(SimTime::from_ms(1).ns == 1000000);
+  CHECK(SimTime::from_sec(1).ns == 1000000000);
+  CHECK_NEAR(SimTime::from_ms(2.5).to_ms(), 2.5, 1e-9);
+  CHECK_NEAR((SimTime::from_sec(1) - SimTime::from_ms(250)).to_sec(), 0.75, 1e-9);
+  CHECK(SimTime{5} < SimTime{6});
+  CHECK(SimTime{6} >= SimTime{6});
+}
+
+static void event_order() {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.schedule_after(SimTime::from_ms(3), [&] { order.push_back(3); });
+  s.schedule_after(SimTime::from_ms(1), [&] { order.push_back(1); });
+  s.schedule_after(SimTime::from_ms(2), [&] { order.push_back(2); });
+  // Same-time events run in insertion order.
+  s.schedule_after(SimTime::from_ms(1), [&] { order.push_back(11); });
+  s.run();
+  CHECK(order == (std::vector<int>{1, 11, 2, 3}));
+  CHECK(s.now() == SimTime::from_ms(3));
+}
+
+static void nested_scheduling() {
+  sim::Scheduler s;
+  int hits = 0;
+  s.schedule_after(SimTime::from_ms(1), [&] {
+    ++hits;
+    s.schedule_after(SimTime::from_ms(1), [&] { ++hits; });
+  });
+  s.run();
+  CHECK(hits == 2);
+  CHECK(s.now() == SimTime::from_ms(2));
+}
+
+static void run_until_time() {
+  sim::Scheduler s;
+  int hits = 0;
+  s.schedule_after(SimTime::from_ms(5), [&] { ++hits; });
+  s.schedule_after(SimTime::from_ms(15), [&] { ++hits; });
+  s.run_until(SimTime::from_ms(10));
+  CHECK(hits == 1);
+  CHECK(s.now() == SimTime::from_ms(10));  // clock advances even when idle
+  s.run_for(SimTime::from_ms(10));
+  CHECK(hits == 2);
+}
+
+static void run_until_pred() {
+  sim::Scheduler s;
+  int x = 0;
+  s.schedule_after(SimTime::from_ms(2), [&] { x = 1; });
+  bool got = s.run_until_pred([&] { return x == 1; }, SimTime::from_sec(1));
+  CHECK(got);
+  CHECK(s.now() == SimTime::from_ms(2));  // stops as soon as pred holds
+  bool timeout = s.run_until_pred([&] { return x == 2; }, SimTime::from_ms(50));
+  CHECK(!timeout);
+}
+
+static void link_serialization_rate() {
+  sim::Scheduler s;
+  sim::LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1 byte/us
+  cfg.delay = SimTime::from_us(100);
+  sim::Link link(s, cfg, 1, "a", "b");
+  SimTime arrival{};
+  link.b().set_receiver([&](Bytes&&) { arrival = s.now(); });
+  CHECK(link.a().send(Bytes(1000, 0)));
+  s.run();
+  // 1000 bytes at 1 byte/us = 1 ms serialization + 100 us propagation.
+  CHECK_NEAR(arrival.to_us(), 1100.0, 1.0);
+  CHECK(link.stats().get("tx_frames") == 1);
+  CHECK(link.stats().get("tx_frames_large") == 1);
+  CHECK(link.stats().get("rx_frames") == 1);
+}
+
+static void link_down_loses_frames() {
+  sim::Scheduler s;
+  sim::LinkConfig cfg;
+  sim::Link link(s, cfg, 1, "a", "b");
+  int rx = 0;
+  bool carrier_seen = true;
+  link.b().set_receiver([&](Bytes&&) { ++rx; });
+  link.b().set_on_carrier([&](bool up) { carrier_seen = up; });
+  CHECK(link.a().send(Bytes(64, 0)));  // in flight...
+  link.set_up(false);                  // ...when the carrier dies
+  s.run();
+  CHECK(rx == 0);
+  CHECK(!carrier_seen);
+  link.set_up(true);
+  CHECK(link.a().send(Bytes(64, 0)));
+  s.run();
+  CHECK(rx == 1);
+}
+
+static void link_queue_backpressure() {
+  sim::Scheduler s;
+  sim::LinkConfig cfg;
+  cfg.rate_bps = 1e3;  // absurdly slow: everything queues
+  cfg.queue_pkts = 2;
+  sim::Link link(s, cfg, 1, "a", "b");
+  CHECK(link.a().send(Bytes(10, 0)));
+  CHECK(link.a().send(Bytes(10, 0)));
+  CHECK(!link.a().send(Bytes(10, 0)));  // FIFO full
+  CHECK(link.stats().get("queue_drops") == 1);
+}
+
+static void gilbert_elliott_loses() {
+  sim::Scheduler s;
+  sim::LinkConfig cfg;
+  cfg.rate_bps = 1e9;
+  sim::GilbertElliottLoss::Params ge;
+  ge.p_good_to_bad = 0.2;
+  ge.p_bad_to_good = 0.2;
+  ge.loss_good = 0.05;
+  ge.loss_bad = 0.6;
+  cfg.ge = ge;
+  sim::Link link(s, cfg, 7, "a", "b");
+  int rx = 0;
+  link.b().set_receiver([&](Bytes&&) { ++rx; });
+  for (int i = 0; i < 500; ++i) {
+    (void)link.a().send(Bytes(32, 0));
+    s.run();
+  }
+  CHECK(rx < 500);  // some loss...
+  CHECK(rx > 100);  // ...but not everything
+  CHECK(link.stats().get("ge_lost") == 500 - static_cast<unsigned>(rx));
+}
+
+int main() {
+  simtime_math();
+  event_order();
+  nested_scheduling();
+  run_until_time();
+  run_until_pred();
+  link_serialization_rate();
+  link_down_loses_frames();
+  link_queue_backpressure();
+  gilbert_elliott_loses();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,32 @@
+// test_util.hpp — minimal assertion harness: no framework dependency,
+// every CHECK failure prints file:line and the test exits non-zero.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rina::test {
+inline int g_failures = 0;
+}
+
+#define CHECK(cond)                                                      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      ++rina::test::g_failures;                                          \
+    }                                                                    \
+  } while (0)
+
+#define CHECK_NEAR(a, b, eps)                                            \
+  do {                                                                   \
+    double va = (a), vb = (b);                                           \
+    double d = va > vb ? va - vb : vb - va;                              \
+    if (d > (eps)) {                                                     \
+      std::fprintf(stderr, "CHECK_NEAR failed at %s:%d: %s=%g vs %s=%g\n", \
+                   __FILE__, __LINE__, #a, va, #b, vb);                  \
+      ++rina::test::g_failures;                                          \
+    }                                                                    \
+  } while (0)
+
+#define TEST_MAIN_RESULT() (rina::test::g_failures == 0 ? 0 : 1)
