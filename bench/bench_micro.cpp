@@ -3,10 +3,24 @@
 // These calibrate the simulator's building blocks: header codec costs,
 // RIEP message costs, SPF, two-step FIB lookups, RIB operations, and a
 // full EFCP write→deliver round trip through two wired connections.
+//
+// The "Encap" section measures the zero-copy SDU datapath: how many
+// payload copies one SDU costs end-to-end as DIF stacking depth grows.
+// `copies/sdu` comes from rina::packet_counters() — the process-wide
+// Packet copy instrumentation — so the numbers are exact counts, not
+// estimates. Zero-copy encap pins copies/sdu at 1 (the edge copy into
+// the headroomed buffer) at any depth; the legacy copy-per-layer
+// encoding it replaced pays depth+1 copies (one per layer plus the NIC
+// tag serialization). BM_EfcpStack shows the same
+// invariant through real stacked EFCP connections (retransmit queues,
+// acks and all), and BM_RelayForward shows a relay hop adds no copies
+// for an exclusively-owned frame (see EXPERIMENTS.md for the aliased
+// reliable-flow caveat).
 #include <benchmark/benchmark.h>
 
 #include "efcp/connection.hpp"
 #include "naming/directory.hpp"
+#include "../tests/efcp_stack_harness.hpp"
 #include "relay/forwarding.hpp"
 #include "rib/riep.hpp"
 #include "routing/graph.hpp"
@@ -15,13 +29,16 @@
 using namespace rina;
 
 static void BM_PciEncode(benchmark::State& state) {
-  efcp::Pdu pdu;
-  pdu.pci.dest = naming::Address{1, 2};
-  pdu.pci.src = naming::Address{1, 3};
-  pdu.pci.seq = 12345;
-  pdu.payload.assign(1000, 0xAA);
+  efcp::Pci pci;
+  pci.dest = naming::Address{1, 2};
+  pci.src = naming::Address{1, 3};
+  pci.seq = 12345;
+  Bytes payload(1000, 0xAA);
   for (auto _ : state) {
-    Bytes wire = pdu.encode();
+    efcp::Pdu pdu;
+    pdu.pci = pci;
+    pdu.payload = Packet::with_headroom(kDefaultHeadroom, BytesView{payload});
+    Packet wire = std::move(pdu).encode_packet();
     benchmark::DoNotOptimize(wire);
   }
 }
@@ -30,14 +47,110 @@ BENCHMARK(BM_PciEncode);
 static void BM_PciDecode(benchmark::State& state) {
   efcp::Pdu pdu;
   pdu.pci.seq = 7;
-  pdu.payload.assign(1000, 0xAA);
+  pdu.payload = Bytes(1000, 0xAA);
   Bytes wire = pdu.encode();
   for (auto _ : state) {
-    auto decoded = efcp::Pdu::decode(BytesView{wire});
+    auto decoded = efcp::Pdu::decode_packet(Packet{Bytes(wire)});
     benchmark::DoNotOptimize(decoded);
   }
 }
 BENCHMARK(BM_PciDecode);
+
+// ---------------------------------------------------------------- Encap
+
+// Zero-copy encapsulation: one headroomed buffer, each of `depth` DIF
+// layers prepends its PCI in place, then the NIC prepends its dif-id
+// tag. copies/sdu == 1 (the edge copy) regardless of depth.
+static void BM_EncapZeroCopy(benchmark::State& state) {
+  auto depth = static_cast<std::size_t>(state.range(0));
+  Bytes payload(1000, 0xAA);
+  efcp::Pci pci;
+  pci.dest = naming::Address{1, 2};
+  pci.src = naming::Address{1, 3};
+  std::uint64_t sdus = 0;
+  packet_counters().reset();
+  for (auto _ : state) {
+    Packet pkt = Packet::with_headroom(kDefaultHeadroom, BytesView{payload});
+    for (std::size_t d = 0; d < depth; ++d) {
+      efcp::Pdu pdu;
+      pdu.pci = pci;
+      pdu.pci.seq = sdus;
+      pdu.payload = std::move(pkt);
+      pkt = std::move(pdu).encode_packet();
+    }
+    store_be32(pkt.prepend(4), 7);  // NIC dif-id tag
+    ++sdus;
+    benchmark::DoNotOptimize(pkt);
+  }
+  state.counters["copies/sdu"] = benchmark::Counter(
+      static_cast<double>(packet_counters().payload_copies) /
+      static_cast<double>(sdus ? sdus : 1));
+  state.SetLabel("depth " + std::to_string(depth));
+}
+BENCHMARK(BM_EncapZeroCopy)->Arg(1)->Arg(3)->Arg(6);
+
+// The pre-refactor shape: every layer serializes header + payload into a
+// fresh buffer, so copies/sdu == depth+1 (the NIC tag pays one more)
+// and the cost is O(depth × size).
+static void BM_EncapLegacyCopy(benchmark::State& state) {
+  auto depth = static_cast<std::size_t>(state.range(0));
+  Bytes payload(1000, 0xAA);
+  efcp::Pci pci;
+  pci.dest = naming::Address{1, 2};
+  pci.src = naming::Address{1, 3};
+  std::uint64_t sdus = 0, copies = 0;
+  for (auto _ : state) {
+    Bytes cur = payload;  // not counted: models the app handing us Bytes
+    for (std::size_t d = 0; d < depth; ++d) {
+      Bytes next(efcp::kPciBytes + cur.size());
+      efcp::write_pci(next.data(), pci, static_cast<std::uint16_t>(cur.size()));
+      std::memcpy(next.data() + efcp::kPciBytes, cur.data(), cur.size());
+      ++copies;
+      cur = std::move(next);
+    }
+    BufWriter w(4 + cur.size());
+    w.put_u32(7);
+    w.put_bytes(BytesView{cur});
+    ++copies;
+    Bytes frame = std::move(w).take();
+    ++sdus;
+    benchmark::DoNotOptimize(frame);
+  }
+  state.counters["copies/sdu"] = benchmark::Counter(
+      static_cast<double>(copies) / static_cast<double>(sdus ? sdus : 1));
+  state.SetLabel("depth " + std::to_string(depth));
+}
+BENCHMARK(BM_EncapLegacyCopy)->Arg(1)->Arg(3)->Arg(6);
+
+// One relay hop: decode the arriving frame in place, decrement TTL,
+// re-encode into the same headroom. The only counted copy per iteration
+// is the synthetic frame "arriving" (with_headroom); the relay work
+// itself adds zero.
+static void BM_RelayForward(benchmark::State& state) {
+  efcp::Pdu tmpl;
+  tmpl.pci.dest = naming::Address{2, 9};
+  tmpl.pci.src = naming::Address{1, 3};
+  tmpl.pci.seq = 42;
+  tmpl.payload = Bytes(1000, 0xAA);
+  Bytes wire = tmpl.encode();
+  std::uint64_t frames = 0;
+  packet_counters().reset();
+  for (auto _ : state) {
+    Packet arrived = Packet::with_headroom(32, BytesView{wire});
+    auto decoded = efcp::Pdu::decode_packet(std::move(arrived));
+    efcp::Pdu& pdu = decoded.value();
+    --pdu.pci.ttl;
+    Packet out = std::move(pdu).encode_packet();
+    ++frames;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["extra_copies/frame"] = benchmark::Counter(
+      static_cast<double>(packet_counters().payload_copies - frames) /
+      static_cast<double>(frames ? frames : 1));
+}
+BENCHMARK(BM_RelayForward);
+
+// ------------------------------------------------------------- the rest
 
 static void BM_RiepRoundTrip(benchmark::State& state) {
   rib::RiepMessage m;
@@ -136,11 +249,13 @@ static void BM_EfcpRoundTrip(benchmark::State& state) {
   std::uint64_t delivered = 0;
   efcp::Connection *pa = nullptr, *pb = nullptr;
   efcp::Connection a(
-      sched, pol, ida, [&](efcp::Pdu&& pdu) { pb->on_pdu(pdu.pci, BytesView{pdu.payload}); },
-      [&](Bytes&&) {});
+      sched, pol, ida,
+      [&](efcp::Pdu&& pdu) { pb->on_pdu(pdu.pci, std::move(pdu.payload)); },
+      [&](Packet&&) {});
   efcp::Connection b(
-      sched, pol, idb, [&](efcp::Pdu&& pdu) { pa->on_pdu(pdu.pci, BytesView{pdu.payload}); },
-      [&](Bytes&&) { ++delivered; });
+      sched, pol, idb,
+      [&](efcp::Pdu&& pdu) { pa->on_pdu(pdu.pci, std::move(pdu.payload)); },
+      [&](Packet&&) { ++delivered; });
   pa = &a;
   pb = &b;
   Bytes sdu(1000, 0x77);
@@ -152,5 +267,36 @@ static void BM_EfcpRoundTrip(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(delivered));
 }
 BENCHMARK(BM_EfcpRoundTrip);
+
+// A real N-deep recursive stack of reliable EFCP connections (each
+// layer's PDUs — data AND acks — ride the layer below as SDUs), with
+// retransmit queues parked on every layer. copies/sdu stays ≈ 1: the
+// edge copy into the headroomed Packet is the only payload copy an SDU
+// pays end-to-end, because parked handles share the frame's buffer and
+// every lower layer prepends at the frontier. (Topology shared with
+// tests/test_packet.cpp via the efcp_stack_harness.)
+static void BM_EfcpStack(benchmark::State& state) {
+  auto depth = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler sched;
+  efcp::EfcpPolicies pol;  // reliable, in-order at every layer
+  std::uint64_t delivered = 0;
+  testx::EfcpStack stack;
+  stack.build(sched, depth, pol, [&delivered](Packet&&) { ++delivered; });
+
+  Bytes sdu(1000, 0x77);
+  std::uint64_t sdus = 0;
+  packet_counters().reset();
+  for (auto _ : state) {
+    (void)stack.top_a(depth).write_sdu(BytesView{sdu});
+    sched.run();
+    ++sdus;
+  }
+  state.counters["delivered"] = benchmark::Counter(static_cast<double>(delivered));
+  state.counters["copies/sdu"] = benchmark::Counter(
+      static_cast<double>(packet_counters().payload_copies) /
+      static_cast<double>(sdus ? sdus : 1));
+  state.SetLabel("depth " + std::to_string(depth));
+}
+BENCHMARK(BM_EfcpStack)->Arg(1)->Arg(3);
 
 BENCHMARK_MAIN();

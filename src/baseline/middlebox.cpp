@@ -27,9 +27,9 @@ Bytes mip_msg(std::uint8_t type, IpAddr home, IpAddr extra) {
 
 NatBox::NatBox(BNode& node, IpAddr public_addr, std::uint8_t proto)
     : node_(node), pub_(public_addr), proto_(proto) {
-  node_.set_forward_hook([this](IpHeader& h, Bytes& payload, int) {
+  node_.set_forward_hook([this](IpHeader& h, Packet& payload, int) {
     if (h.proto != proto_) return true;
-    BufReader r(BytesView{payload});
+    BufReader r(payload.view());
     std::uint16_t sport = r.get_u16();
     std::uint16_t dport = r.get_u16();
     if (!r.ok()) return true;
@@ -58,19 +58,23 @@ NatBox::NatBox(BNode& node, IpAddr public_addr, std::uint8_t proto)
 
 HomeAgent::HomeAgent(BNode& node, IpAddr home_addr)
     : node_(node), home_(home_addr) {
-  node_.set_forward_hook([this](IpHeader& h, Bytes& payload, int) {
+  node_.set_forward_hook([this](IpHeader& h, Packet& payload, int) {
     if (h.dst != home_ || care_of_ == 0 || h.proto == kProtoMipCtl) return true;
-    // Tunnel the whole packet to the registered care-of address.
+    // Tunnel the whole packet to the registered care-of address: the
+    // inner header goes back into the headroom, the outer header in
+    // front of it — IP-in-IP without re-copying the payload.
+    Packet inner = std::move(payload);
+    h.prepend_to(inner);
     IpHeader outer;
     outer.src = node_.primary_addr();
     outer.dst = care_of_;
     outer.proto = kProtoTunnel;
-    (void)node_.ip_send(outer, h.encode(BytesView{payload}));
+    (void)node_.ip_send(outer, std::move(inner));
     stats_.inc("tunneled");
     return false;
   });
-  node_.register_proto(kProtoMipCtl, [this](const IpHeader&, BytesView p, int) {
-    BufReader r(p);
+  node_.register_proto(kProtoMipCtl, [this](const IpHeader&, Packet&& p, int) {
+    BufReader r(p.view());
     std::uint8_t type = r.get_u8();
     IpAddr home = r.get_u32();
     IpAddr coa = r.get_u32();
@@ -89,8 +93,8 @@ HomeAgent::HomeAgent(BNode& node, IpAddr home_addr)
 
 ForeignAgent::ForeignAgent(BNode& node) : node_(node) {
   node_.register_proto(kProtoMipCtl,
-                       [this](const IpHeader& ip, BytesView p, int in_if) {
-    BufReader r(p);
+                       [this](const IpHeader& ip, Packet&& p, int in_if) {
+    BufReader r(p.view());
     std::uint8_t type = r.get_u8();
     IpAddr home = r.get_u32();
     IpAddr extra = r.get_u32();
@@ -117,17 +121,16 @@ ForeignAgent::ForeignAgent(BNode& node) : node_(node) {
     }
     (void)ip;
   });
-  node_.register_proto(kProtoTunnel, [this](const IpHeader&, BytesView p, int) {
-    auto inner = IpHeader::decode(p);
+  node_.register_proto(kProtoTunnel, [this](const IpHeader&, Packet&& p, int) {
+    auto inner = IpHeader::decode_packet(p);  // pulls the inner header
     if (!inner.ok()) return;
-    auto it = bindings_.find(inner.value().first.dst);
+    auto it = bindings_.find(inner.value().dst);
     if (it == bindings_.end()) {
       stats_.inc("tunnel_no_binding");
       return;
     }
     stats_.inc("decapsulated");
-    (void)node_.send_on_iface(it->second, inner.value().first,
-                              BytesView{inner.value().second});
+    (void)node_.send_on_iface(it->second, inner.value(), std::move(p));
   });
 }
 
@@ -135,8 +138,8 @@ ForeignAgent::ForeignAgent(BNode& node) : node_(node) {
 
 MobileClient::MobileClient(BNode& node, IpAddr home_addr)
     : node_(node), home_(home_addr), alive_(std::make_shared<bool>(true)) {
-  node_.register_proto(kProtoMipCtl, [this](const IpHeader&, BytesView p, int) {
-    BufReader r(p);
+  node_.register_proto(kProtoMipCtl, [this](const IpHeader&, Packet&& p, int) {
+    BufReader r(p.view());
     std::uint8_t type = r.get_u8();
     IpAddr home = r.get_u32();
     if (!r.ok() || type != kRegAck || home != home_) return;

@@ -19,19 +19,18 @@ constexpr SimTime kReconvergence = SimTime::from_ms(50);
 
 // ============================ IpHeader ============================
 
-Bytes IpHeader::encode(BytesView payload) const {
-  BufWriter w(12 + payload.size());
-  w.put_u32(src);
-  w.put_u32(dst);
-  w.put_u8(proto);
-  w.put_u8(ttl);
-  w.put_u16(static_cast<std::uint16_t>(payload.size()));
-  w.put_bytes(payload);
-  return std::move(w).take();
+void IpHeader::prepend_to(Packet& payload) const {
+  auto len = static_cast<std::uint16_t>(payload.size());
+  std::uint8_t* h = payload.prepend(kBytes);
+  store_be32(h, src);
+  store_be32(h + 4, dst);
+  h[8] = proto;
+  h[9] = ttl;
+  store_be16(h + 10, len);
 }
 
-Result<std::pair<IpHeader, Bytes>> IpHeader::decode(BytesView frame) {
-  BufReader r(frame);
+Result<IpHeader> IpHeader::decode_packet(Packet& frame) {
+  BufReader r(frame.view());
   IpHeader h;
   h.src = r.get_u32();
   h.dst = r.get_u32();
@@ -39,7 +38,8 @@ Result<std::pair<IpHeader, Bytes>> IpHeader::decode(BytesView frame) {
   h.ttl = r.get_u8();
   std::uint16_t len = r.get_u16();
   if (!r.ok() || len != r.remaining()) return {Err::decode, "bad IP frame"};
-  return std::pair<IpHeader, Bytes>{h, r.get_bytes(len).to_bytes()};
+  frame.pull(kBytes);
+  return h;
 }
 
 // ============================== BNode ==============================
@@ -72,11 +72,11 @@ int BNode::iface_to_addr(IpAddr peer_addr) const {
   return -1;
 }
 
-Result<void> BNode::ip_send(const IpHeader& h, Bytes payload) {
+Result<void> BNode::ip_send(const IpHeader& h, Packet payload) {
   stats_.inc("ip_tx");
   if (owns(h.dst)) {
     auto it = protos_.find(h.proto);
-    if (it != protos_.end()) it->second(h, BytesView{payload}, -1);
+    if (it != protos_.end()) it->second(h, std::move(payload), -1);
     return Ok();
   }
   auto fit = fib_.find(h.dst);
@@ -84,34 +84,34 @@ Result<void> BNode::ip_send(const IpHeader& h, Bytes payload) {
     stats_.inc("ip_no_route");
     return {Err::no_route, "no route"};
   }
-  return send_on_iface(fit->second, h, BytesView{payload});
+  return send_on_iface(fit->second, h, std::move(payload));
 }
 
-Result<void> BNode::send_on_iface(int ifidx, const IpHeader& h, BytesView payload) {
+Result<void> BNode::send_on_iface(int ifidx, const IpHeader& h, Packet&& payload) {
   if (ifidx < 0 || static_cast<std::size_t>(ifidx) >= ifaces_.size())
     return {Err::invalid, "bad iface"};
   Iface& nic = ifaces_[static_cast<std::size_t>(ifidx)];
   if (!nic.link->up()) return {Err::down, "link down"};
-  if (!nic.ep->send(h.encode(payload))) stats_.inc("nic_drops");
+  h.prepend_to(payload);  // zero-copy framing into the headroom
+  if (!nic.ep->send(std::move(payload))) stats_.inc("nic_drops");
   return Ok();
 }
 
-void BNode::receive(int ifidx, Bytes&& frame) {
-  auto decoded = IpHeader::decode(BytesView{frame});
+void BNode::receive(int ifidx, Packet&& frame) {
+  auto decoded = IpHeader::decode_packet(frame);  // pulls header in place
   if (!decoded.ok()) return;
-  IpHeader h = decoded.value().first;
-  Bytes payload = std::move(decoded.value().second);
+  IpHeader h = decoded.value();
   stats_.inc("ip_rx");
-  if (hook_ && !hook_(h, payload, ifidx)) return;  // consumed or dropped
+  if (hook_ && !hook_(h, frame, ifidx)) return;  // consumed or dropped
   if (owns(h.dst)) {
     auto it = protos_.find(h.proto);
-    if (it != protos_.end()) it->second(h, BytesView{payload}, ifidx);
+    if (it != protos_.end()) it->second(h, std::move(frame), ifidx);
     return;
   }
-  forward(h, std::move(payload));
+  forward(h, std::move(frame));
 }
 
-void BNode::forward(IpHeader h, Bytes payload) {
+void BNode::forward(IpHeader h, Packet payload) {
   if (h.ttl == 0) {
     stats_.inc("ip_ttl_drops");
     return;
@@ -123,15 +123,15 @@ void BNode::forward(IpHeader h, Bytes payload) {
     return;
   }
   stats_.inc("ip_forwarded");
-  (void)send_on_iface(fit->second, h, BytesView{payload});
+  (void)send_on_iface(fit->second, h, std::move(payload));
 }
 
 // ========================= TransportStack =========================
 
 TransportStack::TransportStack(BNode& node, sim::Scheduler& sched, Config cfg)
     : node_(node), sched_(sched), cfg_(cfg), alive_(std::make_shared<bool>(true)) {
-  node_.register_proto(cfg_.proto, [this](const IpHeader& ip, BytesView seg, int) {
-    on_segment(ip, seg);
+  node_.register_proto(cfg_.proto, [this](const IpHeader& ip, Packet&& seg, int) {
+    on_segment(ip, std::move(seg));
   });
 }
 
@@ -195,7 +195,9 @@ Result<void> TransportStack::send(SockId id, BytesView data) {
   if (s == nullptr || s->state == State::closed)
     return {Err::flow_closed, "socket closed"};
   if (s->sendq.size() >= kSendQ) return {Err::backpressure, "send queue full"};
-  s->sendq.push_back(data.to_bytes());
+  // The one copy of the send path: into a headroomed Packet that the
+  // transport, IP, and tunnel layers then frame in place.
+  s->sendq.push_back(Packet::with_headroom(kDefaultHeadroom, data));
   if (s->state == State::established) pump(*s);
   return Ok();
 }
@@ -211,30 +213,33 @@ void TransportStack::set_on_closed(SockId id,
 
 void TransportStack::transmit_segment(Sock& s, std::uint8_t flags,
                                       std::uint64_t seq, std::uint64_t ack,
-                                      BytesView payload) {
-  BufWriter w(23 + payload.size());
-  w.put_u16(s.local_port);
-  w.put_u16(s.remote_port);
-  w.put_u8(flags);
-  w.put_u64(seq);
-  w.put_u64(ack);
-  w.put_u16(static_cast<std::uint16_t>(payload.size()));
-  w.put_bytes(payload);
+                                      Packet payload) {
+  auto len = static_cast<std::uint16_t>(payload.size());
+  std::uint8_t* hdr = payload.prepend(23);
+  store_be16(hdr, s.local_port);
+  store_be16(hdr + 2, s.remote_port);
+  hdr[4] = flags;
+  store_be64(hdr + 5, seq);
+  store_be64(hdr + 13, ack);
+  store_be16(hdr + 21, len);
   IpHeader h;
   h.src = node_.primary_addr();
   h.dst = s.paths.empty() ? s.remote : s.paths[s.path % s.paths.size()];
   h.proto = cfg_.proto;
-  (void)node_.ip_send(h, std::move(w).take());
+  (void)node_.ip_send(h, std::move(payload));
   stats_.inc("segments_tx");
 }
 
 void TransportStack::pump(Sock& s) {
   while (!s.sendq.empty() && s.unacked.size() < kWindow) {
-    Bytes payload = std::move(s.sendq.front());
+    Packet payload = std::move(s.sendq.front());
     s.sendq.pop_front();
     std::uint64_t seq = s.next_seq++;
-    transmit_segment(s, kData, seq, 0, BytesView{payload});
-    s.unacked.emplace_back(seq, std::move(payload));
+    // Park a handle before framing: the segment travels as the buffer's
+    // frontier handle, so headers prepend in place; only a go-back-N
+    // retransmission pays a copy-on-write.
+    s.unacked.emplace_back(seq, payload.share());
+    transmit_segment(s, kData, seq, 0, std::move(payload));
   }
   if (!s.unacked.empty()) arm_timer(s);
 }
@@ -289,7 +294,7 @@ void TransportStack::on_rto(SockId id) {
   }
   // Go-back-N: resend the whole outstanding window.
   for (auto& [seq, payload] : s->unacked) {
-    transmit_segment(*s, kData, seq, 0, BytesView{payload});
+    transmit_segment(*s, kData, seq, 0, payload.share());
     stats_.inc("retx");
   }
   arm_timer(*s);
@@ -303,16 +308,16 @@ void TransportStack::close_sock(Sock& s, const Error& e) {
   if (s.on_closed) s.on_closed(s.id, e);
 }
 
-void TransportStack::on_segment(const IpHeader& ip, BytesView seg) {
-  BufReader r(seg);
+void TransportStack::on_segment(const IpHeader& ip, Packet&& seg) {
+  BufReader r(seg.view());
   std::uint16_t sport = r.get_u16();
   std::uint16_t dport = r.get_u16();
   std::uint8_t flags = r.get_u8();
   std::uint64_t seq = r.get_u64();
   std::uint64_t ack = r.get_u64();
   std::uint16_t len = r.get_u16();
-  Bytes payload = r.get_bytes(len).to_bytes();
-  if (!r.ok()) return;
+  if (!r.ok() || len != r.remaining()) return;
+  seg.pull(23);  // payload stays in place
   stats_.inc("segments_rx");
 
   Sock* s = match(dport, sport, ip.src);
@@ -376,7 +381,7 @@ void TransportStack::on_segment(const IpHeader& ip, BytesView seg) {
     // Go-back-N receiver: in-order only, cumulative ack.
     if (seq == s->recv_expected) {
       ++s->recv_expected;
-      if (s->on_data) s->on_data(s->id, std::move(payload));
+      if (s->on_data) s->on_data(s->id, std::move(seg).take_bytes());
     } else if (seq > s->recv_expected) {
       stats_.inc("ooo_dropped");
     }
@@ -454,7 +459,7 @@ std::pair<IpAddr, IpAddr> BaselineNet::add_link(const std::string& a,
     int ifidx = static_cast<int>(n.ifaces_.size());
     n.ifaces_.push_back(nic);
     BNode* np = &n;
-    nic.ep->set_receiver([np, ifidx](Bytes&& f) { np->receive(ifidx, std::move(f)); });
+    nic.ep->set_receiver([np, ifidx](Packet&& f) { np->receive(ifidx, std::move(f)); });
   };
   wire(na, 0, addr_a, addr_b, b);
   wire(nb, 1, addr_b, addr_a, a);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/packet.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
 #include "sim/link.hpp"
@@ -43,8 +44,12 @@ struct IpHeader {
   std::uint8_t proto = 0;
   std::uint8_t ttl = 64;
 
-  [[nodiscard]] Bytes encode(BytesView payload) const;
-  static Result<std::pair<IpHeader, Bytes>> decode(BytesView frame);
+  static constexpr std::size_t kBytes = 12;
+
+  /// Zero-copy framing: write this header into the payload's headroom.
+  void prepend_to(Packet& payload) const;
+  /// In-place parse: pulls the header off `frame`, leaving the payload.
+  static Result<IpHeader> decode_packet(Packet& frame);
 };
 
 struct BLinkOpts {
@@ -67,9 +72,10 @@ class TransportStack;
 /// One IP host/router.
 class BNode {
  public:
-  using ProtoHandler = std::function<void(const IpHeader&, BytesView, int)>;
-  /// Inspect/rewrite every received packet; return false to consume it.
-  using ForwardHook = std::function<bool(IpHeader&, Bytes&, int)>;
+  using ProtoHandler = std::function<void(const IpHeader&, Packet&&, int)>;
+  /// Inspect/rewrite every received packet (the header in place, the
+  /// payload as a Packet); return false to consume it.
+  using ForwardHook = std::function<bool(IpHeader&, Packet&, int)>;
 
   BNode(BaselineNet& net, std::string name);
 
@@ -86,11 +92,11 @@ class BNode {
   void set_forward_hook(ForwardHook h) { hook_ = std::move(h); }
 
   /// Route and transmit an IP packet originated here.
-  Result<void> ip_send(const IpHeader& h, Bytes payload);
+  Result<void> ip_send(const IpHeader& h, Packet payload);
 
   /// Transmit directly on interface `ifidx`, bypassing the FIB (used by
   /// the foreign agent, which knows which wire its mobile hangs off).
-  Result<void> send_on_iface(int ifidx, const IpHeader& h, BytesView payload);
+  Result<void> send_on_iface(int ifidx, const IpHeader& h, Packet&& payload);
 
   /// Interface toward a directly-linked neighbor node, -1 if none is up.
   [[nodiscard]] int iface_to(const std::string& neighbor) const;
@@ -111,8 +117,8 @@ class BNode {
     sim::Link* link = nullptr;
   };
 
-  void receive(int ifidx, Bytes&& frame);
-  void forward(IpHeader h, Bytes payload);
+  void receive(int ifidx, Packet&& frame);
+  void forward(IpHeader h, Packet payload);
 
   BaselineNet& net_;
   std::string name_;
@@ -154,9 +160,10 @@ class TransportStack {
     IpAddr remote = 0;
     std::vector<IpAddr> paths;  // [0] = primary, then alternates
     std::size_t path = 0;
-    // go-back-N sender
-    std::deque<Bytes> sendq;
-    std::deque<std::pair<std::uint64_t, Bytes>> unacked;
+    // go-back-N sender; unacked holds cheap Packet handles onto the
+    // transmitted frames (copy-on-write only on actual retransmission)
+    std::deque<Packet> sendq;
+    std::deque<std::pair<std::uint64_t, Packet>> unacked;
     std::uint64_t next_seq = 1;
     std::uint64_t recv_expected = 1;
     int backoff = 0;
@@ -173,9 +180,9 @@ class TransportStack {
   static constexpr int kMaxRtos = 6;       // TCP: then the connection dies
   static constexpr int kFailoverRtos = 2;  // SCTP-like: then try the next PoA
 
-  void on_segment(const IpHeader& ip, BytesView seg);
+  void on_segment(const IpHeader& ip, Packet&& seg);
   void transmit_segment(Sock& s, std::uint8_t flags, std::uint64_t seq,
-                        std::uint64_t ack, BytesView payload);
+                        std::uint64_t ack, Packet payload);
   void pump(Sock& s);
   void arm_timer(Sock& s);
   void on_rto(SockId id);

@@ -88,9 +88,17 @@ class BufReader {
     return get_string(n);
   }
 
-  /// Length-prefixed (u32) blob.
+  /// Length-prefixed (u32) blob. An adversarial length prefix larger
+  /// than what is actually in the buffer is rejected up front — the
+  /// failure latches and no allocation proportional to the claimed
+  /// length is ever attempted.
   Bytes get_lpbytes() {
     std::uint32_t n = get_u32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      pos_ = v_.size();
+      return {};
+    }
     return get_bytes(n).to_bytes();
   }
 
@@ -114,11 +122,16 @@ class BufReader {
   bool ok_ = true;
 };
 
-/// Growable big-endian writer; move out the buffer with take().
+/// Growable big-endian writer; move out the buffer with take(). Inputs
+/// too large for their length prefix latch ok() == false and write
+/// nothing — a silently truncated length would otherwise produce a
+/// frame that decodes into the wrong bytes.
 class BufWriter {
  public:
   BufWriter() = default;
   explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
 
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
   void put_u16(std::uint16_t v) { put<std::uint16_t>(v); }
@@ -128,17 +141,32 @@ class BufWriter {
   void put_bytes(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
 
   void put_lpstring(std::string_view s) {
+    if (s.size() > 0xFFFF) {
+      ok_ = false;
+      return;
+    }
     put_u16(static_cast<std::uint16_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
   void put_lpbytes(BytesView v) {
+    if (v.size() > 0xFFFFFFFFull) {
+      ok_ = false;
+      return;
+    }
     put_u32(static_cast<std::uint32_t>(v.size()));
     put_bytes(v);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
-  Bytes take() && { return std::move(buf_); }
+
+  /// Move out the finished buffer. A latched writer yields an empty
+  /// frame — every decoder rejects that cleanly — so no call site can
+  /// emit a mis-framed message by forgetting to check ok().
+  Bytes take() && {
+    if (!ok_) return {};
+    return std::move(buf_);
+  }
 
  private:
   template <typename T>
@@ -148,6 +176,22 @@ class BufWriter {
   }
 
   Bytes buf_;
+  bool ok_ = true;
 };
+
+/// Big-endian stores into raw memory — for layers that write their
+/// header into a Packet's headroom via prepend().
+inline void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  store_be16(p, static_cast<std::uint16_t>(v >> 16));
+  store_be16(p + 2, static_cast<std::uint16_t>(v));
+}
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
 
 }  // namespace rina

@@ -1,0 +1,225 @@
+// packet.hpp — the zero-copy SDU buffer of the whole datapath.
+//
+// A Packet is a cheap, refcounted handle onto one heap allocation with
+// reserved headroom in front of the data. Each layer of the recursive
+// stack *prepends* its PCI into the headroom instead of re-allocating
+// and re-copying the payload, so encapsulation through N stacked DIFs
+// costs O(1) copies instead of O(N) — the mbuf/skb idea applied to the
+// paper's "every layer is the same IPC" recursion.
+//
+// Sharing model (the frontier rule): copying a Packet copies the handle,
+// not the bytes. Handles only ever move their view forward (pull/trim)
+// or grow it backward (prepend). Prepending writes into the buffer, so
+// it is done in place only when no *other* handle could see the bytes
+// being written: either the buffer is unshared, or this handle sits at
+// the buffer's frontier (the lowest offset any handle has reached, which
+// every other handle's view starts at or after). Otherwise prepend
+// copies first (copy-on-write). In the forward path the frame traveling
+// down the stack is always the frontier handle, so EFCP retransmit
+// queues and reorder buffers can hold handles for free; only an actual
+// retransmission — which prepends onto a parked, non-frontier handle —
+// pays a copy.
+//
+// Process-wide counters (the simulator is single-threaded) make copy
+// behaviour observable: bench_micro's encap section and test_packet
+// assert "≤ 1 payload copy end-to-end" from them.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace rina {
+
+/// Headroom reserved by default at the sending edge: enough for ~6
+/// stacked DIFs (28-byte PCI each) plus the wire's 4-byte dif-id tag,
+/// or for the baseline's transport + IP + tunnel headers.
+inline constexpr std::size_t kDefaultHeadroom = 192;
+
+/// Process-wide datapath counters (single-threaded simulator).
+struct PacketCounters {
+  std::uint64_t allocs = 0;            // fresh buffer allocations
+  std::uint64_t payload_copies = 0;    // events that memcpy'd payload bytes
+  std::uint64_t cow_copies = 0;        // ...of which: shared-prepend copy-on-write
+  std::uint64_t headroom_reallocs = 0; // ...of which: headroom exhausted
+
+  void reset() { *this = PacketCounters{}; }
+};
+
+inline PacketCounters& packet_counters() {
+  static PacketCounters c;
+  return c;
+}
+
+class Packet {
+ public:
+  Packet() = default;
+
+  /// Adopt a byte vector as-is (no copy, no headroom). The first prepend
+  /// pays one realloc; prefer with_headroom() on hot paths.
+  Packet(Bytes b) {  // NOLINT(google-explicit-constructor): edge adoption
+    if (b.empty() && b.capacity() == 0) return;
+    buf_ = std::make_shared<Buf>();
+    buf_->store = std::move(b);
+    buf_->min_off = 0;
+    off_ = 0;
+    len_ = buf_->store.size();
+    ++packet_counters().allocs;
+  }
+
+  /// One allocation with `headroom` writable bytes in front of a copy of
+  /// `payload`. This copy-in is the single per-SDU copy of the send path.
+  static Packet with_headroom(std::size_t headroom, BytesView payload) {
+    Packet p;
+    p.buf_ = std::make_shared<Buf>();
+    p.buf_->store.resize(headroom + payload.size());
+    if (!payload.empty())
+      std::memcpy(p.buf_->store.data() + headroom, payload.data(), payload.size());
+    p.buf_->min_off = headroom;
+    p.off_ = headroom;
+    p.len_ = payload.size();
+    auto& c = packet_counters();
+    ++c.allocs;
+    if (!payload.empty()) ++c.payload_copies;
+    return p;
+  }
+
+  /// Explicit cheap handle copy (refcount bump, zero bytes moved).
+  [[nodiscard]] Packet share() const { return *this; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return buf_ ? buf_->store.data() + off_ : nullptr;
+  }
+  [[nodiscard]] BytesView view() const noexcept { return BytesView{data(), len_}; }
+  operator BytesView() const noexcept { return view(); }  // NOLINT: read adaptor
+  std::uint8_t operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  [[nodiscard]] std::size_t headroom() const noexcept { return buf_ ? off_ : 0; }
+  [[nodiscard]] bool unique() const noexcept { return buf_ && buf_.use_count() == 1; }
+
+  /// Grow the view backward by n bytes and return the write pointer for
+  /// the new front (the caller fills in its header). In place when safe
+  /// under the frontier rule; otherwise copies into a fresh buffer with
+  /// regenerated headroom (counted), so it never fails.
+  std::uint8_t* prepend(std::size_t n) {
+    auto& c = packet_counters();
+    if (!buf_) {
+      std::size_t hr = n > kDefaultHeadroom ? n : kDefaultHeadroom;
+      buf_ = std::make_shared<Buf>();
+      buf_->store.resize(hr);
+      buf_->min_off = hr;
+      off_ = hr;
+      len_ = 0;
+      ++c.allocs;
+    }
+    bool have_room = off_ >= n;
+    bool exclusive = buf_.use_count() == 1 || off_ == buf_->min_off;
+    if (!have_room || !exclusive) {
+      if (!have_room)
+        ++c.headroom_reallocs;
+      else
+        ++c.cow_copies;
+      unshare(n);
+    }
+    off_ -= n;
+    len_ += n;
+    buf_->min_off = off_;
+    return buf_->store.data() + off_;
+  }
+
+  /// Drop n bytes from the front (layer peels its header off in place).
+  void pull(std::size_t n) {
+    if (n > len_) n = len_;
+    off_ += n;
+    len_ -= n;
+  }
+
+  /// Exact rollback of an immediately-preceding prepend(n) on this
+  /// handle, with no copies taken in between (the caller guarantees
+  /// that). Unlike pull(), this also restores the frontier, so a later
+  /// retry of the same prepend stays in place instead of looking like a
+  /// foreign descent and paying a copy-on-write. Used by transmit paths
+  /// that tag a frame, fail with backpressure, and must hand the
+  /// untagged frame back to the retry queue.
+  void unprepend(std::size_t n) {
+    if (!buf_ || n > len_ || off_ != buf_->min_off) {
+      pull(n);  // contract violated: fall back to the always-safe drop
+      return;
+    }
+    off_ += n;
+    len_ -= n;
+    // Safe: under the contract the bytes below off_ were written by the
+    // prepend being undone — either in place (pre-prepend min_off was
+    // exactly off_) or into a fresh exclusive buffer.
+    buf_->min_off = off_;
+  }
+
+  /// Drop n bytes from the tail.
+  void trim(std::size_t n) {
+    if (n > len_) n = len_;
+    len_ -= n;
+  }
+
+  /// Copy the current view into a fresh Bytes.
+  [[nodiscard]] Bytes to_bytes() const { return view().to_bytes(); }
+
+  /// Convert to Bytes at the app edge: moves the underlying vector out
+  /// when this handle exclusively owns the whole buffer, copies otherwise.
+  [[nodiscard]] Bytes take_bytes() && {
+    if (!buf_) return {};
+    if (buf_.use_count() == 1 && off_ == 0 && len_ == buf_->store.size()) {
+      Bytes out = std::move(buf_->store);
+      buf_.reset();
+      len_ = 0;
+      return out;
+    }
+    ++packet_counters().payload_copies;
+    Bytes out = view().to_bytes();
+    buf_.reset();
+    off_ = len_ = 0;
+    return out;
+  }
+
+  friend bool operator==(const Packet& a, const Packet& b) {
+    if (a.len_ != b.len_) return false;
+    return a.len_ == 0 || std::memcmp(a.data(), b.data(), a.len_) == 0;
+  }
+  friend bool operator==(const Packet& a, const Bytes& b) {
+    if (a.len_ != b.size()) return false;
+    return a.len_ == 0 || std::memcmp(a.data(), b.data(), a.len_) == 0;
+  }
+  friend bool operator==(const Bytes& a, const Packet& b) { return b == a; }
+
+ private:
+  struct Buf {
+    Bytes store;
+    std::size_t min_off = 0;  // frontier: lowest offset any handle reached
+  };
+
+  /// Copy the current view into a private buffer with at least
+  /// max(need, kDefaultHeadroom) bytes of headroom.
+  void unshare(std::size_t need) {
+    std::size_t hr = need > kDefaultHeadroom ? need : kDefaultHeadroom;
+    auto fresh = std::make_shared<Buf>();
+    fresh->store.resize(hr + len_);
+    if (len_ != 0)
+      std::memcpy(fresh->store.data() + hr, buf_->store.data() + off_, len_);
+    fresh->min_off = hr;
+    buf_ = std::move(fresh);
+    off_ = hr;
+    auto& c = packet_counters();
+    ++c.allocs;
+    if (len_ != 0) ++c.payload_copies;
+  }
+
+  std::shared_ptr<Buf> buf_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+}  // namespace rina

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/packet.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
 #include "efcp/pci.hpp"
@@ -64,7 +65,7 @@ struct ConnectionId {
 class Connection {
  public:
   using SendFn = std::function<void(Pdu&&)>;
-  using DeliverFn = std::function<void(Bytes&&)>;
+  using DeliverFn = std::function<void(Packet&&)>;
 
   Connection(sim::Scheduler& sched, const EfcpPolicies& pol, ConnectionId id,
              SendFn send, DeliverFn deliver)
@@ -84,33 +85,51 @@ class Connection {
   Stats& stats() { return stats_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  /// Accept an SDU from the layer above. Err::backpressure when the
-  /// window and the send queue are both full — the caller must retry.
+  /// Accept an SDU from the layer above (edge API): copies once into a
+  /// headroomed Packet, after which every layer below prepends in place.
+  /// Backpressure is checked before the copy, so refused writes (which
+  /// callers retry in a loop) cost no allocation and don't inflate the
+  /// payload-copy counters.
   Result<void> write_sdu(BytesView sdu) {
+    if (sdu.size() > kMaxSduBytes)
+      return {Err::invalid, "SDU exceeds the PCI length field (no fragmentation)"};
+    if (would_refuse()) {
+      stats_.inc("write_refused");
+      return {Err::backpressure, "EFCP window and send queue full"};
+    }
+    Packet pkt = Packet::with_headroom(kDefaultHeadroom, sdu);
+    return write_sdu_pkt(pkt);
+  }
+
+  /// Zero-copy write: accepts an SDU already carried in a Packet (the
+  /// recursive case — an upper DIF's frame entering this one).
+  /// Err::backpressure when the window and the send queue are both full;
+  /// on backpressure `sdu` is left intact so the caller can retry it.
+  Result<void> write_sdu_pkt(Packet& sdu) {
     if (sdu.size() > kMaxSduBytes)
       return {Err::invalid, "SDU exceeds the PCI length field (no fragmentation)"};
     if (!pol_.reliable) {
       stats_.inc("pdus_tx");
-      send_(make_data(next_seq_++, sdu.to_bytes(), false));
+      send_(make_data(next_seq_++, std::move(sdu), false));
       return Ok();
     }
     if (inflight_.size() >= pol_.window) {
-      if (sendq_.size() >= pol_.send_queue) {
+      if (would_refuse()) {
         stats_.inc("write_refused");
         return {Err::backpressure, "EFCP window and send queue full"};
       }
-      sendq_.push_back(sdu.to_bytes());
+      sendq_.push_back(std::move(sdu));
       return Ok();
     }
-    transmit_new(sdu.to_bytes());
+    transmit_new(std::move(sdu));
     return Ok();
   }
 
-  /// A PDU for this connection arrived from the RMT.
-  void on_pdu(const Pci& pci, BytesView payload) {
+  /// A PDU for this connection arrived from the RMT (zero-copy path).
+  void on_pdu(const Pci& pci, Packet&& payload) {
     switch (pci.type) {
       case PduType::data:
-        on_data(pci, payload);
+        on_data(pci, std::move(payload));
         break;
       case PduType::ack:
         on_ack(pci.seq);
@@ -120,17 +139,29 @@ class Connection {
     }
   }
 
+  /// View-based delivery (tests, replay tooling): copies into a Packet.
+  void on_pdu(const Pci& pci, BytesView payload) {
+    on_pdu(pci, Packet::with_headroom(0, payload));
+  }
+
   [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
   [[nodiscard]] std::size_t queued() const { return sendq_.size(); }
 
  private:
+  /// The one refusal predicate, shared by write_sdu's pre-copy check and
+  /// write_sdu_pkt's admission so the two can never diverge.
+  [[nodiscard]] bool would_refuse() const {
+    return pol_.reliable && inflight_.size() >= pol_.window &&
+           sendq_.size() >= pol_.send_queue;
+  }
+
   struct Unacked {
-    Bytes payload;
+    Packet payload;  // cheap handle sharing the transmitted frame's buffer
     SimTime sent;
     bool retransmitted = false;
   };
 
-  Pdu make_data(std::uint64_t seq, Bytes payload, bool retx) {
+  Pdu make_data(std::uint64_t seq, Packet payload, bool retx) {
     Pdu p;
     p.pci.type = PduType::data;
     p.pci.flags = kFlagFirstFrag | kFlagLastFrag;
@@ -145,9 +176,12 @@ class Connection {
     return p;
   }
 
-  void transmit_new(Bytes payload) {
+  void transmit_new(Packet payload) {
     std::uint64_t seq = next_seq_++;
-    inflight_[seq] = Unacked{payload, sched_.now(), false};
+    // Park a handle, not a copy: the frame keeps traveling down the stack
+    // as the buffer's frontier handle, so lower-layer prepends stay in
+    // place; only an actual retransmission pays a copy-on-write.
+    inflight_[seq] = Unacked{payload.share(), sched_.now(), false};
     stats_.inc("pdus_tx");
     send_(make_data(seq, std::move(payload), false));
     if (inflight_.size() == 1) arm_timer();
@@ -167,7 +201,7 @@ class Connection {
       dup_acks_ = 0;
       backoff_ = 0;
       while (!sendq_.empty() && inflight_.size() < pol_.window) {
-        Bytes next = std::move(sendq_.front());
+        Packet next = std::move(sendq_.front());
         sendq_.pop_front();
         transmit_new(std::move(next));
       }
@@ -187,7 +221,7 @@ class Connection {
     it->second.retransmitted = true;
     stats_.inc("pdus_retx");
     if (fast) stats_.inc("fast_retx");
-    send_(make_data(it->first, it->second.payload, true));
+    send_(make_data(it->first, it->second.payload.share(), true));
   }
 
   void on_rto() {
@@ -233,11 +267,11 @@ class Connection {
 
   // ---- receiver side ----
 
-  void on_data(const Pci& pci, BytesView payload) {
+  void on_data(const Pci& pci, Packet&& payload) {
     stats_.inc("pdus_rx");
     if (!pol_.reliable) {
       stats_.inc("sdus_delivered");
-      deliver_(payload.to_bytes());
+      deliver_(std::move(payload));
       return;
     }
     if (pci.seq < next_expected_) {
@@ -245,7 +279,7 @@ class Connection {
     } else if (pci.seq == next_expected_) {
       ++next_expected_;
       stats_.inc("sdus_delivered");
-      deliver_(payload.to_bytes());
+      deliver_(std::move(payload));
       if (pol_.in_order) {
         // Drain any contiguous run that was waiting on this PDU.
         for (auto it = reorder_.begin();
@@ -268,12 +302,12 @@ class Connection {
       } else if (delivered_ooo_.size() < pol_.reorder_buf) {
         delivered_ooo_.insert(pci.seq);
         stats_.inc("sdus_delivered");
-        deliver_(payload.to_bytes());
+        deliver_(std::move(payload));
       } else {
         stats_.inc("reorder_drops");
       }
     } else if (reorder_.size() < pol_.reorder_buf) {
-      reorder_.emplace(pci.seq, payload.to_bytes());
+      reorder_.emplace(pci.seq, std::move(payload));
     } else {
       stats_.inc("reorder_drops");
     }
@@ -304,7 +338,7 @@ class Connection {
   std::uint64_t next_seq_ = 0;
   std::uint64_t acked_ = 0;
   std::map<std::uint64_t, Unacked> inflight_;
-  std::deque<Bytes> sendq_;
+  std::deque<Packet> sendq_;
   int dup_acks_ = 0;
   int backoff_ = 0;
   SimTime rto_;
@@ -314,7 +348,7 @@ class Connection {
 
   // Receiver.
   std::uint64_t next_expected_ = 0;
-  std::map<std::uint64_t, Bytes> reorder_;        // in-order: held-back SDUs
+  std::map<std::uint64_t, Packet> reorder_;       // in-order: held-back SDUs
   std::set<std::uint64_t> delivered_ooo_;         // unordered: dedup/ack edge
 
   std::shared_ptr<bool> alive_;

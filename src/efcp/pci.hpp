@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/packet.hpp"
 #include "common/result.hpp"
 #include "efcp/types.hpp"
 #include "naming/names.hpp"
@@ -49,32 +50,50 @@ struct Pci {
   std::uint64_t seq = 0;
 };
 
+/// Write `pci` into the 28 bytes at `h` (the caller prepended them).
+inline void write_pci(std::uint8_t* h, const Pci& pci, std::uint16_t payload_len) {
+  h[0] = kPciVersion;
+  h[1] = static_cast<std::uint8_t>(pci.type);
+  h[2] = pci.flags;
+  h[3] = pci.qos_id;
+  store_be16(h + 4, pci.dest.region);
+  store_be16(h + 6, pci.dest.node);
+  store_be16(h + 8, pci.src.region);
+  store_be16(h + 10, pci.src.node);
+  store_be16(h + 12, pci.dest_cep);
+  store_be16(h + 14, pci.src_cep);
+  h[16] = pci.ttl;
+  h[17] = 0;  // reserved
+  store_be64(h + 18, pci.seq);
+  store_be16(h + 26, payload_len);
+}
+
 struct Pdu {
   Pci pci;
-  Bytes payload;
+  Packet payload;
 
-  [[nodiscard]] Bytes encode() const {
-    BufWriter w(kPciBytes + payload.size());
-    w.put_u8(kPciVersion);
-    w.put_u8(static_cast<std::uint8_t>(pci.type));
-    w.put_u8(pci.flags);
-    w.put_u8(pci.qos_id);
-    w.put_u16(pci.dest.region);
-    w.put_u16(pci.dest.node);
-    w.put_u16(pci.src.region);
-    w.put_u16(pci.src.node);
-    w.put_u16(pci.dest_cep);
-    w.put_u16(pci.src_cep);
-    w.put_u8(pci.ttl);
-    w.put_u8(0);  // reserved
-    w.put_u64(pci.seq);
-    w.put_u16(static_cast<std::uint16_t>(payload.size()));
-    w.put_bytes(BytesView{payload});
-    return std::move(w).take();
+  /// Zero-copy encode: the PCI is written into the payload's headroom in
+  /// place. Consumes the Pdu; the returned Packet IS the wire frame.
+  [[nodiscard]] Packet encode_packet() && {
+    auto len = static_cast<std::uint16_t>(payload.size());
+    Packet frame = std::move(payload);
+    write_pci(frame.prepend(kPciBytes), pci, len);
+    return frame;
   }
 
-  static Result<Pdu> decode(BytesView wire) {
-    BufReader r(wire);
+  /// Legacy copying encode (wire-format tests, diagnostics). Works on a
+  /// private copy of the payload so a const call never touches the
+  /// shared buffer's frontier or skews the copy counters of the real
+  /// datapath handles.
+  [[nodiscard]] Bytes encode() const {
+    Pdu tmp{pci, Packet::with_headroom(kPciBytes, payload.view())};
+    return std::move(tmp).encode_packet().to_bytes();
+  }
+
+  /// In-place decode: parses the PCI, pulls it off the frame, and keeps
+  /// the rest of the frame as the payload — no payload copy.
+  static Result<Pdu> decode_packet(Packet frame) {
+    BufReader r(frame.view());
     Pdu p;
     std::uint8_t version = r.get_u8();
     auto type = r.get_u8();
@@ -95,8 +114,13 @@ struct Pdu {
     if (type < 1 || type > 4) return {Err::decode, "bad PDU type"};
     p.pci.type = static_cast<PduType>(type);
     if (len != r.remaining()) return {Err::decode, "payload length mismatch"};
-    p.payload = r.get_bytes(len).to_bytes();
+    frame.pull(kPciBytes);
+    p.payload = std::move(frame);
     return p;
+  }
+
+  static Result<Pdu> decode(BytesView wire) {
+    return decode_packet(Packet{wire.to_bytes()});
   }
 };
 

@@ -62,6 +62,13 @@ std::uint64_t splitmix64(std::uint64_t x) {
 
 void put_addr(BufWriter& w, naming::Address a) { w.put_u32(a.key()); }
 
+/// Management messages enter the datapath as headroomed Packets so the
+/// PCI (and any lower DIFs' PCIs on stacked paths) prepend in place.
+Packet mgmt_payload(const rib::RiepMessage& m) {
+  Bytes raw = m.encode();
+  return Packet::with_headroom(kDefaultHeadroom, BytesView{raw});
+}
+
 naming::Address get_addr(BufReader& r) {
   std::uint32_t k = r.get_u32();
   return naming::Address{static_cast<std::uint16_t>(k >> 16),
@@ -178,9 +185,9 @@ void Ipcp::set_port_carrier(relay::PortIndex idx, bool up) {
 
 void Ipcp::port_ready(relay::PortIndex idx) { rmt_.drain(idx); }
 
-void Ipcp::on_port_frame(relay::PortIndex idx, BytesView frame) {
+void Ipcp::on_port_frame(relay::PortIndex idx, Packet&& frame) {
   if (idx >= ports_.size()) return;
-  auto decoded = efcp::Pdu::decode(frame);
+  auto decoded = efcp::Pdu::decode_packet(std::move(frame));
   if (!decoded.ok()) {
     rmt_.stats_.inc("drop_decode");
     return;
@@ -200,7 +207,7 @@ void Ipcp::on_port_frame(relay::PortIndex idx, BytesView frame) {
     return;
   }
   if (pdu.pci.dest == address_ && !address_.is_null()) {
-    deliver_local(pdu);
+    deliver_local(std::move(pdu));
     return;
   }
   // Relay: not ours, forward inside the DIF.
@@ -219,9 +226,9 @@ void Ipcp::on_port_frame(relay::PortIndex idx, BytesView frame) {
   rmt_.egress(*out, std::move(pdu));
 }
 
-void Ipcp::deliver_local(const efcp::Pdu& pdu) {
+void Ipcp::deliver_local(efcp::Pdu&& pdu) {
   if (pdu.pci.type == efcp::PduType::mgmt) {
-    auto m = rib::RiepMessage::decode(BytesView{pdu.payload});
+    auto m = rib::RiepMessage::decode(pdu.payload.view());
     if (!m.ok()) {
       rmt_.stats_.inc("drop_decode");
       return;
@@ -247,7 +254,7 @@ void Ipcp::deliver_local(const efcp::Pdu& pdu) {
     rmt_.stats_.inc("drop_no_cep");
     return;
   }
-  rec->conn->on_pdu(pdu.pci, BytesView{pdu.payload});
+  rec->conn->on_pdu(pdu.pci, std::move(pdu.payload));
 }
 
 // ---------------------- management dispatch ----------------------
@@ -268,7 +275,7 @@ void Ipcp::send_mgmt(relay::PortIndex idx, const rib::RiepMessage& m) {
   pdu.pci.type = efcp::PduType::mgmt;
   pdu.pci.src = address_;
   pdu.pci.dest = naming::Address{};  // port-local
-  pdu.payload = m.encode();
+  pdu.payload = mgmt_payload(m);
   rmt_.egress(idx, std::move(pdu));
 }
 
@@ -278,12 +285,12 @@ void Ipcp::send_routed_mgmt(naming::Address dest, const rib::RiepMessage& m) {
   pdu.pci.type = efcp::PduType::mgmt;
   pdu.pci.src = address_;
   pdu.pci.dest = dest;
-  pdu.payload = m.encode();
+  pdu.payload = mgmt_payload(m);
   rmt_.send(std::move(pdu));
 }
 
 void Ipcp::handle_mgmt(relay::PortIndex idx, const efcp::Pdu& pdu) {
-  auto decoded = rib::RiepMessage::decode(BytesView{pdu.payload});
+  auto decoded = rib::RiepMessage::decode(pdu.payload.view());
   if (!decoded.ok()) {
     rmt_.stats_.inc("drop_decode");
     return;
@@ -882,7 +889,7 @@ void Ipcp::handle_dir_update(relay::PortIndex idx, const rib::RiepMessage& m) {
 void Rmt::send(efcp::Pdu&& pdu) {
   stats_.inc("pdus_out");
   if (pdu.pci.dest == self_.address_ && !pdu.pci.dest.is_null()) {
-    self_.deliver_local(pdu);
+    self_.deliver_local(std::move(pdu));
     return;
   }
   auto out = fib_.lookup(pdu.pci.dest,
@@ -908,18 +915,20 @@ std::uint8_t Rmt::class_priority(efcp::QosId q) const {
 
 void Rmt::egress(relay::PortIndex port, efcp::Pdu&& pdu) {
   Ipcp::Port& p = self_.ports_[port];
+  // Encode exactly once: the PCI goes into the payload's headroom in
+  // place; queueing and drain retries reuse the same frame.
+  std::uint8_t prio = class_priority(pdu.pci.qos_id);
+  Packet frame = std::move(pdu).encode_packet();
   if (p.queue.empty()) {
-    if (p.tx(pdu.encode())) return;
+    if (p.tx(frame)) return;
   }
   // NIC/flow refused or a queue already exists: buffer above the port,
   // honoring the scheduling discipline.
   const auto cap = self_.cfg_.rmt_queue_pdus;
   if (self_.cfg_.rmt_sched == relay::RmtSched::priority) {
-    std::uint8_t prio = class_priority(pdu.pci.qos_id);
     if (p.queue.size() >= cap) {
       // Full: the lowest class (queue back, kept sorted) gives way.
-      if (!p.queue.empty() &&
-          class_priority(p.queue.back().pci.qos_id) > prio) {
+      if (!p.queue.empty() && p.queue.back().priority > prio) {
         p.queue.pop_back();
         stats_.inc("rmt_drops");
       } else {
@@ -928,16 +937,14 @@ void Rmt::egress(relay::PortIndex port, efcp::Pdu&& pdu) {
       }
     }
     auto it = p.queue.end();
-    while (it != p.queue.begin() &&
-           class_priority(std::prev(it)->pci.qos_id) > prio)
-      --it;
-    p.queue.insert(it, std::move(pdu));
+    while (it != p.queue.begin() && std::prev(it)->priority > prio) --it;
+    p.queue.insert(it, relay::EgressFrame{prio, std::move(frame)});
   } else {
     if (p.queue.size() >= cap) {
       stats_.inc("rmt_drops");
       return;
     }
-    p.queue.push_back(std::move(pdu));
+    p.queue.push_back(relay::EgressFrame{prio, std::move(frame)});
   }
   schedule_drain(port);
 }
@@ -958,7 +965,7 @@ void Rmt::schedule_drain(relay::PortIndex port) {
 void Rmt::drain(relay::PortIndex port) {
   Ipcp::Port& p = self_.ports_[port];
   while (!p.queue.empty()) {
-    if (!p.tx(p.queue.front().encode())) break;
+    if (!p.tx(p.queue.front().frame)) break;
     p.queue.pop_front();
   }
   if (!p.queue.empty()) schedule_drain(port);
@@ -1101,15 +1108,17 @@ void FlowAllocator::create_connection(FlowRec& rec) {
   rec.conn = std::make_unique<efcp::Connection>(
       self_.sched(), pol, id,
       [this](efcp::Pdu&& pdu) { self_.rmt_.send(std::move(pdu)); },
-      [this, port](Bytes&& sdu) {
+      [this, port](Packet&& sdu) {
         FlowRec* r = by_port(port);
         if (r == nullptr) return;
         if (r->sink) {
+          // Internal consumer (an overlay port riding this flow): hand
+          // the Packet through — the recursion stays zero-copy.
           r->sink(std::move(sdu));
         } else if (r->has_app) {
           auto ait = apps_.find(r->app);
           if (ait != apps_.end() && ait->second.on_data)
-            ait->second.on_data(port, std::move(sdu));
+            ait->second.on_data(port, std::move(sdu).take_bytes());
         } else {
           stats_.inc("sdus_unconsumed");
         }
@@ -1285,13 +1294,19 @@ Result<void> FlowAllocator::write(flow::PortId port, BytesView sdu) {
   return rec->conn->write_sdu(sdu);
 }
 
+Result<void> FlowAllocator::write_pkt(flow::PortId port, Packet& sdu) {
+  FlowRec* rec = by_port(port);
+  if (rec == nullptr || !rec->conn) return {Err::flow_closed, "no such flow"};
+  return rec->conn->write_sdu_pkt(sdu);
+}
+
 efcp::Connection* FlowAllocator::connection(flow::PortId port) {
   FlowRec* rec = by_port(port);
   return rec == nullptr ? nullptr : rec->conn.get();
 }
 
 void FlowAllocator::set_flow_sink(flow::PortId port,
-                                  std::function<void(Bytes&&)> on_data,
+                                  std::function<void(Packet&&)> on_data,
                                   std::function<void()> on_closed) {
   FlowRec* rec = by_port(port);
   if (rec == nullptr) return;

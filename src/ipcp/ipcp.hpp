@@ -115,11 +115,14 @@ class FlowAllocator {
                 const flow::QosSpec& spec, flow::AllocateCallback cb);
 
   Result<void> write(flow::PortId port, BytesView sdu);
+  /// Zero-copy write for the recursive case: `sdu` is an upper DIF's
+  /// frame riding this flow. Left intact on Err::backpressure (retry).
+  Result<void> write_pkt(flow::PortId port, Packet& sdu);
   efcp::Connection* connection(flow::PortId port);
 
   /// Redirect a flow's delivery/teardown to an internal consumer (the
   /// overlay port riding this flow).
-  void set_flow_sink(flow::PortId port, std::function<void(Bytes&&)> on_data,
+  void set_flow_sink(flow::PortId port, std::function<void(Packet&&)> on_data,
                      std::function<void()> on_closed);
 
   void close_all(bool notify_peers);
@@ -136,7 +139,7 @@ class FlowAllocator {
     std::unique_ptr<efcp::Connection> conn;
     naming::AppName app;  // registered app this flow delivers to (if any)
     bool has_app = false;
-    std::function<void(Bytes&&)> sink;  // overrides app delivery when set
+    std::function<void(Packet&&)> sink;  // overrides app delivery when set
     std::function<void()> on_closed;
   };
 
@@ -199,12 +202,15 @@ class Ipcp {
 
   // ---- ports ----
   struct PortInit {
-    std::function<bool(Bytes&&)> tx;  // false = backpressure, retry later
+    /// Transmit one encoded frame on the attachment below. Contract:
+    /// false = backpressure and the frame is left intact (the RMT keeps
+    /// it queued and retries); true = consumed (sent or lost).
+    std::function<bool(Packet&)> tx;
     bool is_wire = false;
   };
   relay::PortIndex add_port(PortInit init);
   void start_port(relay::PortIndex idx);  // announce ourselves (Hello)
-  void on_port_frame(relay::PortIndex idx, BytesView frame);
+  void on_port_frame(relay::PortIndex idx, Packet&& frame);
   void set_port_carrier(relay::PortIndex idx, bool up);
   void port_ready(relay::PortIndex idx);
   [[nodiscard]] bool port_up(relay::PortIndex idx) const;
@@ -224,14 +230,14 @@ class Ipcp {
   friend class Enrollment;
 
   struct Port {
-    std::function<bool(Bytes&&)> tx;
+    std::function<bool(Packet&)> tx;
     bool is_wire = false;
     bool carrier = true;        // wire carrier / lower-flow liveness
     bool alive = true;          // keepalive verdict
     bool peer_enrolled = false; // valid Hello seen or join completed
     bool hello_sent = false;
     naming::Address peer;
-    std::deque<efcp::Pdu> queue;  // RMT egress queue above the NIC
+    std::deque<relay::EgressFrame> queue;  // RMT egress queue above the NIC
     bool drain_scheduled = false;
     SimTime last_heard{};
     std::optional<std::uint64_t> join_nonce;  // member side of psk handshake
@@ -279,7 +285,7 @@ class Ipcp {
   void keepalive_tick();
 
   // Local delivery.
-  void deliver_local(const efcp::Pdu& pdu);
+  void deliver_local(efcp::Pdu&& pdu);
 
   IpcpHost& host_;
   dif::DifConfig cfg_;

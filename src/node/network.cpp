@@ -147,17 +147,18 @@ sim::Link& Network::add_link(const std::string& a, const std::string& b,
                                           seed_ * 0x9e3779b9ULL + ++link_seq_, a, b);
   auto* raw = rec.get();
   // NIC demux: frames carry a dif-id prefix; carrier and ready events fan
-  // out to every DIF attached on the endpoint.
+  // out to every DIF attached on the endpoint. The prefix is pulled off
+  // in place — the Packet rides up the stack without a copy.
   for (int side = 0; side < 2; ++side) {
     auto& ep = rec->link->ep(side);
-    ep.set_receiver([raw, side](Bytes&& frame) {
-      BufReader r(BytesView{frame});
+    ep.set_receiver([raw, side](Packet&& frame) {
+      BufReader r(frame.view());
       std::uint32_t dif_id = r.get_u32();
       if (!r.ok()) return;
       auto it = raw->attach[side].find(dif_id);
       if (it == raw->attach[side].end()) return;
-      it->second.proc->on_port_frame(it->second.idx,
-                                     BytesView{frame}.subview(4));
+      frame.pull(4);
+      it->second.proc->on_port_frame(it->second.idx, std::move(frame));
     });
     ep.set_on_carrier([raw, side](bool up) {
       for (auto& [id, at] : raw->attach[side]) at.proc->set_port_carrier(at.idx, up);
@@ -198,11 +199,15 @@ relay::PortIndex Network::wire_port(LinkRec& rec, int side, ipcp::Ipcp& proc) {
   std::uint32_t dif_id = proc.dif_id();
   ipcp::Ipcp::PortInit init;
   init.is_wire = true;
-  init.tx = [ep, dif_id](Bytes&& frame) {
-    BufWriter w(frame.size() + 4);
-    w.put_u32(dif_id);
-    w.put_bytes(BytesView{frame});
-    return ep->send(std::move(w).take());
+  init.tx = [ep, dif_id](Packet& frame) {
+    // Tag the frame with the DIF id in its headroom. On backpressure the
+    // link leaves the frame untouched; roll the tag back off (frontier
+    // included) so the RMT's retry of this exact Packet re-tags in
+    // place instead of paying a copy-on-write.
+    store_be32(frame.prepend(4), dif_id);
+    if (ep->send(std::move(frame))) return true;
+    frame.unprepend(4);
+    return false;
   };
   relay::PortIndex idx = proc.add_port(std::move(init));
   if (!rec.link->up()) proc.set_port_carrier(idx, false);
@@ -335,16 +340,19 @@ relay::PortIndex Network::bind_overlay_port(const std::string& node_name,
   auto* lp = n.ipcp(lower);
   ipcp::Ipcp::PortInit init;
   init.is_wire = false;
-  init.tx = [lp, lower_port](Bytes&& frame) {
-    auto r = lp->fa().write(lower_port, BytesView{frame});
-    // Backpressure asks the RMT to hold the PDU; any other failure is a
-    // drop (the upper EFCP recovers if its policy says so).
+  init.tx = [lp, lower_port](Packet& frame) {
+    // The recursion's fast path: the upper DIF's frame enters the lower
+    // DIF as a Packet, so the lower EFCP prepends its PCI into the same
+    // buffer. Backpressure asks the RMT to hold the PDU (frame is left
+    // intact); any other failure is a drop (the upper EFCP recovers if
+    // its policy says so).
+    auto r = lp->fa().write_pkt(lower_port, frame);
     return r.ok() || r.error().code != Err::backpressure;
   };
   relay::PortIndex idx = upper->add_port(std::move(init));
   lp->fa().set_flow_sink(
       lower_port,
-      [upper, idx](Bytes&& sdu) { upper->on_port_frame(idx, BytesView{sdu}); },
+      [upper, idx](Packet&& sdu) { upper->on_port_frame(idx, std::move(sdu)); },
       [upper, idx] { upper->set_port_carrier(idx, false); });
   return idx;
 }
@@ -389,9 +397,9 @@ Result<relay::PortIndex> Network::make_overlay_port(const naming::DifName& dif,
   auto bound = std::make_shared<std::optional<flow::PortId>>();
   ipcp::Ipcp::PortInit init;
   init.is_wire = false;
-  init.tx = [lp, bound](Bytes&& frame) {
+  init.tx = [lp, bound](Packet& frame) {
     if (!bound->has_value()) return true;  // dropped: not yet bound
-    auto r = lp->fa().write(bound->value(), BytesView{frame});
+    auto r = lp->fa().write_pkt(bound->value(), frame);
     return r.ok() || r.error().code != Err::backpressure;
   };
   relay::PortIndex idx = upper->add_port(std::move(init));
@@ -404,8 +412,8 @@ Result<relay::PortIndex> Network::make_overlay_port(const naming::DifName& dif,
                       *bound = r.value().port;
                       lp->fa().set_flow_sink(
                           r.value().port,
-                          [upper, idx](Bytes&& sdu) {
-                            upper->on_port_frame(idx, BytesView{sdu});
+                          [upper, idx](Packet&& sdu) {
+                            upper->on_port_frame(idx, std::move(sdu));
                           },
                           [upper, idx] { upper->set_port_carrier(idx, false); });
                     });

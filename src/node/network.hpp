@@ -8,6 +8,12 @@
 // register_overlay_member, connect_overlay_members), and break things
 // (set_link_state). Everything it does decomposes into IPCP operations —
 // the façade contains no datapath of its own.
+//
+// Datapath note: the SDU given to Node::write is copied exactly once —
+// into a headroomed rina::Packet at the EFCP edge. From there every
+// layer (EFCP PCI, each stacked DIF's PCI, the NIC's dif-id tag) is
+// prepended into the same allocation, and receive-side layers pull
+// their headers off in place; the app-facing edges stay on Bytes.
 #pragma once
 
 #include <cstdint>

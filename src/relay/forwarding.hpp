@@ -14,12 +14,22 @@
 #include <optional>
 #include <vector>
 
+#include "common/packet.hpp"
 #include "naming/names.hpp"
 
 namespace rina::relay {
 
 /// RMT-level port handle: one lower-level attachment (wire or N-1 flow).
 using PortIndex = std::uint32_t;
+
+/// One entry in an RMT egress queue: the PDU already encoded into its
+/// wire frame (the PCI was prepended in place exactly once; drain
+/// retries re-transmit the same Packet instead of re-encoding), plus the
+/// QoS class priority it was queued under.
+struct EgressFrame {
+  std::uint8_t priority = 0;
+  Packet frame;
+};
 
 enum class PoaPolicy {
   first_up,     // deterministic: first live PoA in discovery order

@@ -44,6 +44,8 @@ struct RiepMessage {
     w.put_lpstring(obj_name);
     w.put_lpstring(obj_class);
     w.put_lpbytes(BytesView{value});
+    // A latched writer (field too large for its length prefix) makes
+    // take() yield an empty frame, which every decoder rejects cleanly.
     return std::move(w).take();
   }
 

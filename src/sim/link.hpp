@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "common/packet.hpp"
 #include "common/stats.hpp"
 #include "sim/scheduler.hpp"
 
@@ -82,12 +83,12 @@ class Link {
    public:
     Endpoint(Link* l, int side) : link_(l), side_(side) {}
 
-    /// Queue a frame for transmission. False = tx FIFO full (caller may
-    /// hold the frame and retry on ready). Frames sent into a down link
-    /// are silently lost, as on real media.
-    bool send(Bytes&& frame) { return link_->send_from(side_, std::move(frame)); }
+    /// Queue a frame for transmission. False = tx FIFO full — the frame
+    /// is NOT consumed, so the caller may hold it and retry on ready.
+    /// Frames sent into a down link are silently lost, as on real media.
+    bool send(Packet&& frame) { return link_->send_from(side_, std::move(frame)); }
 
-    void set_receiver(std::function<void(Bytes&&)> fn) {
+    void set_receiver(std::function<void(Packet&&)> fn) {
       link_->dir_[1 - side_].deliver = std::move(fn);
     }
     void set_on_ready(std::function<void()> fn) {
@@ -134,12 +135,12 @@ class Link {
   struct Direction {
     SimTime busy_until{};
     std::size_t queued = 0;
-    std::function<void(Bytes&&)> deliver;
+    std::function<void(Packet&&)> deliver;
     std::function<void()> on_ready;
     std::optional<GilbertElliottLoss> ge;
   };
 
-  bool send_from(int side, Bytes&& frame) {
+  bool send_from(int side, Packet&& frame) {
     Direction& d = dir_[side];
     stats_.inc("tx_attempts");
     if (!up_) {

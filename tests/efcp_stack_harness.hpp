@@ -1,0 +1,97 @@
+// efcp_stack_harness.hpp — a synchronous N-deep recursive EFCP stack
+// for tests and microbenchmarks: two sides, `depth` reliable
+// connections each, where layer k's PDUs (data AND acks) ride layer
+// k-1 as SDUs and the bottom layer's frames cross a caller-supplied
+// "wire" hook. Shared by tests/test_packet.cpp and bench/bench_micro.cpp
+// so the ≤1-copy-per-SDU invariant is asserted and timed on the same
+// topology.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "efcp/connection.hpp"
+#include "efcp/pci.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::testx {
+
+struct EfcpStack {
+  struct Side {
+    std::vector<std::unique_ptr<efcp::Connection>> conns;  // [0] = bottom
+  };
+
+  /// Decides per bottom-layer frame whether the wire drops it.
+  /// Defaults to a lossless wire.
+  using DropFn = std::function<bool(const efcp::Pdu&)>;
+
+  Side a, b;
+
+  /// Top-of-stack senders (write app SDUs here).
+  efcp::Connection& top_a(std::size_t depth) { return *a.conns[depth - 1]; }
+
+  /// Build both sides. `deliver_top` receives every SDU surfacing at
+  /// side B's top layer. Returns after wiring; nothing runs until the
+  /// caller writes SDUs and drives `sched`.
+  void build(sim::Scheduler& sched, std::size_t depth,
+             const efcp::EfcpPolicies& pol,
+             std::function<void(Packet&&)> deliver_top,
+             DropFn drop = nullptr) {
+    drop_ = std::move(drop);
+    for (std::size_t k = 0; k < depth; ++k) {
+      make_layer(sched, k, depth, pol, &a, &b, 1, deliver_top);
+      make_layer(sched, k, depth, pol, &b, &a, 2, deliver_top);
+    }
+  }
+
+ private:
+  void make_layer(sim::Scheduler& sched, std::size_t k, std::size_t depth,
+                  const efcp::EfcpPolicies& pol, Side* self, Side* peer,
+                  std::uint16_t node,
+                  const std::function<void(Packet&&)>& deliver_top) {
+    efcp::ConnectionId id{naming::Address{1, node},
+                          naming::Address{1, static_cast<std::uint16_t>(3 - node)},
+                          static_cast<efcp::CepId>(k + 1),
+                          static_cast<efcp::CepId>(k + 1), 0};
+    efcp::Connection::SendFn send;
+    if (k == 0) {
+      // The wire: encode, optionally drop, decode on the peer side.
+      DropFn* drop = &drop_;
+      send = [peer, drop](efcp::Pdu&& pdu) {
+        if (*drop && (*drop)(pdu)) return;  // lost on the wire
+        Packet frame = std::move(pdu).encode_packet();
+        auto d = efcp::Pdu::decode_packet(std::move(frame));
+        if (d.ok())
+          peer->conns[0]->on_pdu(d.value().pci, std::move(d.value().payload));
+      };
+    } else {
+      efcp::Connection* below = self->conns[k - 1].get();
+      send = [below](efcp::Pdu&& pdu) {
+        Packet frame = std::move(pdu).encode_packet();
+        (void)below->write_sdu_pkt(frame);
+      };
+    }
+    efcp::Connection::DeliverFn deliver;
+    if (k == depth - 1) {
+      deliver = (self == &b) ? deliver_top
+                             : efcp::Connection::DeliverFn([](Packet&&) {});
+    } else {
+      // An SDU of layer k is a frame of layer k+1: decode in place.
+      std::size_t up = k + 1;
+      deliver = [self, up](Packet&& sdu) {
+        auto d = efcp::Pdu::decode_packet(std::move(sdu));
+        if (d.ok())
+          self->conns[up]->on_pdu(d.value().pci, std::move(d.value().payload));
+      };
+    }
+    self->conns.push_back(std::make_unique<efcp::Connection>(
+        sched, pol, id, std::move(send), std::move(deliver)));
+  }
+
+  DropFn drop_;
+};
+
+}  // namespace rina::testx

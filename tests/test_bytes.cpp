@@ -1,8 +1,13 @@
-// test_bytes — BufReader/BufWriter round trips, short-read latching, and
-// Result<T> error paths.
+// test_bytes — BufReader/BufWriter round trips, short-read latching,
+// length-prefix overflow latching, adversarial/corrupt-frame hardening,
+// and Result<T> error paths.
 #include "common/bytes.hpp"
-#include "common/result.hpp"
 
+#include <string>
+
+#include "common/result.hpp"
+#include "efcp/pci.hpp"
+#include "rib/riep.hpp"
 #include "test_util.hpp"
 
 using namespace rina;
@@ -48,6 +53,93 @@ static void lp_overrun_is_safe() {
   CHECK(!r.ok());
 }
 
+static void writer_latches_oversize_lp() {
+  // A string longer than the u16 length prefix can describe must not be
+  // written with a silently-truncated length.
+  BufWriter w;
+  w.put_u8(0x01);
+  CHECK(w.ok());
+  std::string huge(70000, 'x');
+  w.put_lpstring(huge);
+  CHECK(!w.ok());
+  Bytes b = std::move(w).take();
+  CHECK(b.empty());  // a latched writer yields an empty (rejectable) frame
+
+  BufWriter w2;
+  w2.put_lpstring(std::string(65535, 'y'));  // exactly at the limit: fine
+  CHECK(w2.ok());
+  CHECK(std::move(w2).take().size() == 2 + 65535);
+}
+
+static void reader_rejects_adversarial_lp_lengths() {
+  // A length prefix claiming ~4 GiB over a tiny buffer: rejected up
+  // front, no allocation proportional to the claim.
+  BufWriter w;
+  w.put_u32(0xFFFFFFFFu);
+  w.put_u8(0x42);
+  Bytes b = std::move(w).take();
+  BufReader r{BytesView{b}};
+  Bytes blob = r.get_lpbytes();
+  CHECK(blob.empty());
+  CHECK(!r.ok());
+  CHECK(r.get_u8() == 0);  // latched: nothing more comes out
+}
+
+// Fuzz-ish: corrupt frames (bit flips, truncations, adversarial length
+// prefixes) thrown at both wire-format decoders. Every outcome must be
+// a clean accept or a clean reject — never a crash, hang, or giant
+// allocation (ASan/UBSan in CI watch the memory side).
+static void corrupt_frame_fuzz() {
+  // Deterministic xorshift so failures reproduce.
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  efcp::Pdu pdu;
+  pdu.pci.dest = naming::Address{2, 7};
+  pdu.pci.src = naming::Address{1, 3};
+  pdu.pci.seq = 99;
+  pdu.payload = to_bytes("fuzz seed payload for corrupt frame tests");
+  Bytes pdu_wire = pdu.encode();
+
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::write;
+  m.obj_name = "/fuzz/object";
+  m.obj_class = "Fuzz";
+  m.value = to_bytes("opaque value bytes");
+  Bytes riep_wire = m.encode();
+
+  int pdu_ok = 0, riep_ok = 0;
+  for (int i = 0; i < 4000; ++i) {
+    Bytes f = (i % 2 == 0) ? pdu_wire : riep_wire;
+    // 1-4 mutations: flip a byte, or stomp a plausible length prefix.
+    int muts = 1 + static_cast<int>(next() % 4);
+    for (int k = 0; k < muts; ++k) {
+      std::size_t at = next() % f.size();
+      if (next() % 4 == 0 && at + 4 <= f.size()) {
+        store_be32(f.data() + at, static_cast<std::uint32_t>(next()));
+      } else {
+        f[at] ^= static_cast<std::uint8_t>(1u << (next() % 8));
+      }
+    }
+    if (next() % 3 == 0) f.resize(next() % (f.size() + 1));  // truncate too
+    if (i % 2 == 0) {
+      auto d = efcp::Pdu::decode(BytesView{f});
+      if (d.ok()) ++pdu_ok;
+    } else {
+      auto d = rib::RiepMessage::decode(BytesView{f});
+      if (d.ok()) ++riep_ok;
+    }
+  }
+  // Some mutations only touch the payload and still decode — that is
+  // fine; the point is that nothing above ever crashed or over-read.
+  CHECK(pdu_ok + riep_ok < 4000);
+}
+
 static void views() {
   Bytes b = to_bytes("abcdef");
   BytesView v{b};
@@ -86,6 +178,9 @@ int main() {
   roundtrip();
   short_read_latches();
   lp_overrun_is_safe();
+  writer_latches_oversize_lp();
+  reader_rejects_adversarial_lp_lengths();
+  corrupt_frame_fuzz();
   views();
   result_paths();
   return TEST_MAIN_RESULT();

@@ -33,13 +33,13 @@ struct Pair {
               ++a_to_b_count % drop_every == 0 &&
               (p.pci.flags & efcp::kFlagRetransmit) == 0)
             return;  // lost on the wire
-          b->on_pdu(p.pci, BytesView{p.payload});
+          b->on_pdu(p.pci, std::move(p.payload));
         },
-        [](Bytes&&) {});
+        [](Packet&&) {});
     cb = std::make_unique<efcp::Connection>(
         sched, pol, idb,
-        [this](efcp::Pdu&& p) { a->on_pdu(p.pci, BytesView{p.payload}); },
-        [this](Bytes&& sdu) { delivered.push_back(to_string(BytesView{sdu})); });
+        [this](efcp::Pdu&& p) { a->on_pdu(p.pci, std::move(p.payload)); },
+        [this](Packet&& sdu) { delivered.push_back(to_string(sdu.view())); });
     a = ca.get();
     b = cb.get();
   }

@@ -74,8 +74,8 @@ static void link_serialization_rate() {
   cfg.delay = SimTime::from_us(100);
   sim::Link link(s, cfg, 1, "a", "b");
   SimTime arrival{};
-  link.b().set_receiver([&](Bytes&&) { arrival = s.now(); });
-  CHECK(link.a().send(Bytes(1000, 0)));
+  link.b().set_receiver([&](Packet&&) { arrival = s.now(); });
+  CHECK(link.a().send(Packet{Bytes(1000, 0)}));
   s.run();
   // 1000 bytes at 1 byte/us = 1 ms serialization + 100 us propagation.
   CHECK_NEAR(arrival.to_us(), 1100.0, 1.0);
@@ -90,15 +90,15 @@ static void link_down_loses_frames() {
   sim::Link link(s, cfg, 1, "a", "b");
   int rx = 0;
   bool carrier_seen = true;
-  link.b().set_receiver([&](Bytes&&) { ++rx; });
+  link.b().set_receiver([&](Packet&&) { ++rx; });
   link.b().set_on_carrier([&](bool up) { carrier_seen = up; });
-  CHECK(link.a().send(Bytes(64, 0)));  // in flight...
+  CHECK(link.a().send(Packet{Bytes(64, 0)}));  // in flight...
   link.set_up(false);                  // ...when the carrier dies
   s.run();
   CHECK(rx == 0);
   CHECK(!carrier_seen);
   link.set_up(true);
-  CHECK(link.a().send(Bytes(64, 0)));
+  CHECK(link.a().send(Packet{Bytes(64, 0)}));
   s.run();
   CHECK(rx == 1);
 }
@@ -109,9 +109,9 @@ static void link_queue_backpressure() {
   cfg.rate_bps = 1e3;  // absurdly slow: everything queues
   cfg.queue_pkts = 2;
   sim::Link link(s, cfg, 1, "a", "b");
-  CHECK(link.a().send(Bytes(10, 0)));
-  CHECK(link.a().send(Bytes(10, 0)));
-  CHECK(!link.a().send(Bytes(10, 0)));  // FIFO full
+  CHECK(link.a().send(Packet{Bytes(10, 0)}));
+  CHECK(link.a().send(Packet{Bytes(10, 0)}));
+  CHECK(!link.a().send(Packet{Bytes(10, 0)}));  // FIFO full
   CHECK(link.stats().get("queue_drops") == 1);
 }
 
@@ -127,9 +127,9 @@ static void gilbert_elliott_loses() {
   cfg.ge = ge;
   sim::Link link(s, cfg, 7, "a", "b");
   int rx = 0;
-  link.b().set_receiver([&](Bytes&&) { ++rx; });
+  link.b().set_receiver([&](Packet&&) { ++rx; });
   for (int i = 0; i < 500; ++i) {
-    (void)link.a().send(Bytes(32, 0));
+    (void)link.a().send(Packet{Bytes(32, 0)});
     s.run();
   }
   CHECK(rx < 500);  // some loss...
