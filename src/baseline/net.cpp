@@ -230,8 +230,14 @@ void TransportStack::transmit_segment(Sock& s, std::uint8_t flags,
   stats_.inc("segments_tx");
 }
 
+std::size_t TransportStack::effective_window(const Sock& s) {
+  auto w = static_cast<std::size_t>(s.cwnd);
+  if (w < 1) w = 1;
+  return w < kWindow ? w : kWindow;
+}
+
 void TransportStack::pump(Sock& s) {
-  while (!s.sendq.empty() && s.unacked.size() < kWindow) {
+  while (!s.sendq.empty() && s.unacked.size() < effective_window(s)) {
     Packet payload = std::move(s.sendq.front());
     s.sendq.pop_front();
     std::uint64_t seq = s.next_seq++;
@@ -284,6 +290,9 @@ void TransportStack::on_rto(SockId id) {
     s->consecutive_rtos = 0;
     s->backoff = 0;
     stats_.inc("path_failovers");
+    // The new path's capacity is unknown: restart congestion control.
+    s->ssthresh = s->cwnd / 2.0 > 2.0 ? s->cwnd / 2.0 : 2.0;
+    s->cwnd = 1.0;
   } else if (!cfg_.multihomed && s->consecutive_rtos >= kMaxRtos) {
     // TCP-flavored: the connection is named by a dead address. It dies.
     Error e{Err::timeout, "max retransmissions"};
@@ -291,6 +300,11 @@ void TransportStack::on_rto(SockId id) {
     return;
   } else {
     ++s->backoff;
+    // Loss is the only congestion signal this stack has: halve the
+    // threshold and collapse the window (classic AIMD on loss).
+    s->ssthresh = s->cwnd / 2.0 > 2.0 ? s->cwnd / 2.0 : 2.0;
+    s->cwnd = 1.0;
+    stats_.inc("cwnd_collapses");
   }
   // Go-back-N: resend the whole outstanding window.
   for (auto& [seq, payload] : s->unacked) {
@@ -395,6 +409,14 @@ void TransportStack::on_segment(const IpHeader& ip, Packet&& seg) {
     while (!s->unacked.empty() && s->unacked.front().first < ack) {
       s->unacked.pop_front();
       advanced = true;
+      // AIMD growth per newly acked segment: exponential below the
+      // threshold (slow start), one segment per window above it.
+      if (s->cwnd < s->ssthresh)
+        s->cwnd += 1.0;
+      else
+        s->cwnd += 1.0 / s->cwnd;
+      if (s->cwnd > static_cast<double>(kWindow))
+        s->cwnd = static_cast<double>(kWindow);
     }
     if (advanced) {
       s->backoff = 0;

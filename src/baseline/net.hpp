@@ -130,8 +130,11 @@ class BNode {
   Stats stats_;
 };
 
-/// Go-back-N transport: TCP-flavored by default (dies with its interface),
-/// SCTP-flavored with `multihomed` (blind RTO-driven path failover).
+/// Go-back-N transport with classic end-to-end AIMD-on-loss congestion
+/// control (slow start, additive increase, window collapse on RTO — the
+/// only congestion signal a datagram internet offers is the loss itself).
+/// TCP-flavored by default (dies with its interface), SCTP-flavored with
+/// `multihomed` (blind RTO-driven path failover).
 class TransportStack {
  public:
   struct Config {
@@ -166,6 +169,11 @@ class TransportStack {
     std::deque<std::pair<std::uint64_t, Packet>> unacked;
     std::uint64_t next_seq = 1;
     std::uint64_t recv_expected = 1;
+    // AIMD on loss: slow start below ssthresh, +1 PDU per window above,
+    // collapse to 1 on RTO (go-back-N resends the whole window anyway,
+    // so the Tahoe-style restart is the honest model).
+    double cwnd = 4.0;
+    double ssthresh = 16.0;
     int backoff = 0;
     int consecutive_rtos = 0;
     int syn_tries = 0;
@@ -175,7 +183,7 @@ class TransportStack {
     std::function<void(SockId, const Error&)> on_closed;
   };
 
-  static constexpr std::size_t kWindow = 32;
+  static constexpr std::size_t kWindow = 32;  // cap on the AIMD window
   static constexpr std::size_t kSendQ = 1024;
   static constexpr int kMaxRtos = 6;       // TCP: then the connection dies
   static constexpr int kFailoverRtos = 2;  // SCTP-like: then try the next PoA
@@ -183,6 +191,7 @@ class TransportStack {
   void on_segment(const IpHeader& ip, Packet&& seg);
   void transmit_segment(Sock& s, std::uint8_t flags, std::uint64_t seq,
                         std::uint64_t ack, Packet payload);
+  static std::size_t effective_window(const Sock& s);
   void pump(Sock& s);
   void arm_timer(Sock& s);
   void on_rto(SockId id);

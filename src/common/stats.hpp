@@ -18,6 +18,13 @@ class Stats {
  public:
   void inc(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
 
+  /// Record a high-water mark: keep the counter at the max value seen
+  /// (peak queue depths and other gauges; read like any counter).
+  void note_max(const std::string& name, std::uint64_t v) {
+    auto& c = counters_[name];
+    if (v > c) c = v;
+  }
+
   [[nodiscard]] std::uint64_t get(const std::string& name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;

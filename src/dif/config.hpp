@@ -31,9 +31,13 @@ struct DifConfig {
   SimTime keepalive_interval = SimTime::from_ms(100);
   int keepalive_misses = 3;
 
-  /// RMT egress discipline.
+  /// RMT egress discipline. Queues are bounded per QoS class (one shared
+  /// class under fifo); a class queue deeper than rmt_ecn_threshold sets
+  /// the ECN bit on the data PDUs it admits — the in-DIF congestion
+  /// signal the aimd_ecn DTCP policy reacts to. 0 disables marking.
   relay::RmtSched rmt_sched = relay::RmtSched::fifo;
   std::size_t rmt_queue_pdus = 512;
+  std::size_t rmt_ecn_threshold = 0;
 
   /// Route on region prefixes instead of full addresses (one FIB entry
   /// per foreign region).

@@ -1,13 +1,15 @@
-// connection.hpp — EFCP: the error- and flow-control protocol, one
-// instance per flow endpoint.
+// connection.hpp — EFCP's DTP machine: sequencing, retransmission and
+// reordering, one instance per flow endpoint.
 //
 // The same machine runs at every rank of the stack; only its *policies*
-// change (the paper's separation of mechanism and policy). A hop DIF over
-// lossy radio runs the "wireless-hop" policy (tiny RTO, local recovery in
-// microseconds); a host-to-host DIF runs the default policy with RTTs
-// measured end-to-end. Flow control is a fixed window plus a bounded
-// send queue: when both fill, write_sdu() refuses — backpressure to the
-// layer above instead of loss below.
+// change (the paper's separation of mechanism and policy — policies.hpp).
+// Transmission control is delegated to the DTCP half (dtcp.hpp): DTP
+// asks `dtcp_.can_send()` before transmitting and feeds it every ack,
+// echoed congestion mark, and loss event; whether that implements a
+// static window, an ECN-driven AIMD window, or token-bucket pacing is
+// the connection's policy, not its mechanism. When both the window and
+// the bounded send queue fill, write_sdu() refuses — backpressure to
+// the layer above instead of loss below.
 #pragma once
 
 #include <cstdint>
@@ -22,37 +24,12 @@
 #include "common/packet.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
+#include "efcp/dtcp.hpp"
 #include "efcp/pci.hpp"
+#include "efcp/policies.hpp"
 #include "sim/scheduler.hpp"
 
 namespace rina::efcp {
-
-struct EfcpPolicies {
-  bool reliable = true;
-  bool in_order = true;
-  std::size_t window = 256;       // max PDUs in flight
-  std::size_t send_queue = 256;   // PDUs held while the window is closed
-  std::size_t reorder_buf = 1024; // out-of-order PDUs held at the receiver
-  SimTime initial_rto = SimTime::from_ms(100);
-  SimTime min_rto = SimTime::from_ms(20);
-  SimTime max_rto = SimTime::from_sec(2);
-  int fast_retx_dups = 3;
-
-  static EfcpPolicies from_policy_name(const std::string& name) {
-    EfcpPolicies p;
-    if (name == "unreliable") {
-      p.reliable = false;
-      p.in_order = false;
-    } else if (name == "wireless-hop") {
-      // Scope-local recovery: the RTT is one radio hop, so the timers can
-      // be three orders of magnitude tighter than an end-to-end policy.
-      p.initial_rto = SimTime::from_ms(2);
-      p.min_rto = SimTime::from_us(500);
-      p.max_rto = SimTime::from_ms(50);
-    }
-    return p;
-  }
-};
 
 struct ConnectionId {
   naming::Address src;
@@ -71,11 +48,19 @@ class Connection {
              SendFn send, DeliverFn deliver)
       : sched_(sched),
         pol_(pol),
+        dtcp_(sched, pol_),
         id_(id),
         send_(std::move(send)),
         deliver_(std::move(deliver)),
         rto_(pol.initial_rto),
-        alive_(std::make_shared<bool>(true)) {}
+        alive_(std::make_shared<bool>(true)) {
+    // DTCP governs the reliable sender's admission; an unreliable flow
+    // has no acks (so no window and no congestion feedback) and sends
+    // on write. A non-default tx policy on such a flow is inert —
+    // surface that instead of silently ignoring the configuration.
+    if (!pol_.reliable && pol_.tx_policy != TxPolicy::static_window)
+      stats_.inc("dtcp_policy_ignored");
+  }
 
   ~Connection() { *alive_ = false; }
   Connection(const Connection&) = delete;
@@ -113,12 +98,18 @@ class Connection {
       send_(make_data(next_seq_++, std::move(sdu), false));
       return Ok();
     }
-    if (inflight_.size() >= pol_.window) {
+    // Write order is delivery order: SDUs already waiting in the send
+    // queue must go first. Under rate_based pacing a token can mature
+    // between the timer that drains the queue and this write, so drain
+    // before deciding whether the new SDU may jump straight to the wire.
+    if (!sendq_.empty()) drain_sendq();
+    if (!sendq_.empty() || !dtcp_.can_send(inflight_.size())) {
       if (would_refuse()) {
         stats_.inc("write_refused");
         return {Err::backpressure, "EFCP window and send queue full"};
       }
       sendq_.push_back(std::move(sdu));
+      schedule_paced_drain();
       return Ok();
     }
     transmit_new(std::move(sdu));
@@ -132,7 +123,7 @@ class Connection {
         on_data(pci, std::move(payload));
         break;
       case PduType::ack:
-        on_ack(pci.seq);
+        on_ack(pci);
         break;
       default:
         break;
@@ -147,11 +138,19 @@ class Connection {
   [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
   [[nodiscard]] std::size_t queued() const { return sendq_.size(); }
 
+  /// DTCP visibility (tests, diagnostics): the current transmission
+  /// window and, for aimd_ecn, the raw congestion window.
+  [[nodiscard]] std::size_t tx_window() const { return dtcp_.window(); }
+  [[nodiscard]] double cwnd() const { return dtcp_.cwnd(); }
+
  private:
   /// The one refusal predicate, shared by write_sdu's pre-copy check and
-  /// write_sdu_pkt's admission so the two can never diverge.
+  /// write_sdu_pkt's admission so the two can never diverge. (A full
+  /// send queue implies a non-empty one, and drain_sendq() keeps "queue
+  /// non-empty" equivalent to "DTCP denies", so checking can_send here
+  /// matches write_sdu_pkt's post-drain admission exactly.)
   [[nodiscard]] bool would_refuse() const {
-    return pol_.reliable && inflight_.size() >= pol_.window &&
+    return pol_.reliable && !dtcp_.can_send(inflight_.size()) &&
            sendq_.size() >= pol_.send_queue;
   }
 
@@ -183,28 +182,62 @@ class Connection {
     // place; only an actual retransmission pays a copy-on-write.
     inflight_[seq] = Unacked{payload.share(), sched_.now(), false};
     stats_.inc("pdus_tx");
+    dtcp_.on_sent();
     send_(make_data(seq, std::move(payload), false));
     if (inflight_.size() == 1) arm_timer();
   }
 
+  /// Transmit from the send queue while DTCP admits.
+  void drain_sendq() {
+    while (!sendq_.empty() && dtcp_.can_send(inflight_.size())) {
+      Packet next = std::move(sendq_.front());
+      sendq_.pop_front();
+      transmit_new(std::move(next));
+    }
+    schedule_paced_drain();
+  }
+
+  /// Under rate_based pacing the window can be open while the token
+  /// bucket is empty; no ack will arrive to restart transmission, so a
+  /// timer must. Window-closed queueing still drains from on_ack.
+  void schedule_paced_drain() {
+    if (pol_.tx_policy != TxPolicy::rate_based) return;
+    if (pace_scheduled_ || sendq_.empty()) return;
+    if (!dtcp_.window_open(inflight_.size())) return;  // acks will drain
+    pace_scheduled_ = true;
+    std::weak_ptr<bool> alive = alive_;
+    sched_.schedule_after(dtcp_.next_ready_delay(), [this, alive] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      pace_scheduled_ = false;
+      drain_sendq();
+    });
+  }
+
   // ---- sender side ----
 
-  void on_ack(std::uint64_t cum) {
+  void on_ack(const Pci& pci) {
     stats_.inc("acks_rx");
+    std::uint64_t cum = pci.seq;
+    // An echoed congestion mark is acted on whether or not the ack
+    // advances — the receiver saw congestion inside this DIF.
+    if ((pci.flags & kFlagEcnEcho) != 0) {
+      stats_.inc("ecn_echo_rx");
+      if (dtcp_.on_congestion(acked_, next_seq_)) stats_.inc("cwnd_backoffs");
+    }
     if (cum > acked_) {
+      std::size_t newly = 0;
       for (auto it = inflight_.begin();
            it != inflight_.end() && it->first < cum;) {
         if (!it->second.retransmitted) sample_rtt(sched_.now() - it->second.sent);
         it = inflight_.erase(it);
+        ++newly;
       }
       acked_ = cum;
       dup_acks_ = 0;
       backoff_ = 0;
-      while (!sendq_.empty() && inflight_.size() < pol_.window) {
-        Packet next = std::move(sendq_.front());
-        sendq_.pop_front();
-        transmit_new(std::move(next));
-      }
+      if ((pci.flags & kFlagEcnEcho) == 0) dtcp_.on_ack_advance(newly);
+      drain_sendq();
       arm_timer();
       return;
     }
@@ -212,6 +245,9 @@ class Connection {
     if (++dup_acks_ >= pol_.fast_retx_dups) {
       dup_acks_ = 0;
       retransmit_oldest(/*fast=*/true);
+      // A fast retransmit is inferred loss — congestion feedback like an
+      // RTO (the recovery guard keeps it to one cut per window).
+      if (dtcp_.on_congestion(acked_, next_seq_)) stats_.inc("cwnd_backoffs");
     }
   }
 
@@ -231,6 +267,9 @@ class Connection {
     // whole-window storm; fast retransmit carries the common case.
     retransmit_oldest(false);
     stats_.inc("rto_fired");
+    // Loss is a congestion signal too (the marks may have been lost with
+    // the PDUs they rode on).
+    if (dtcp_.on_congestion(acked_, next_seq_)) stats_.inc("cwnd_backoffs");
     if (backoff_ < 6) ++backoff_;
     arm_timer();
   }
@@ -269,6 +308,12 @@ class Connection {
 
   void on_data(const Pci& pci, Packet&& payload) {
     stats_.inc("pdus_rx");
+    if ((pci.flags & kFlagEcn) != 0) {
+      // A congested RMT inside this DIF marked the PDU; echo on the next
+      // ack so the sender's DTCP backs off within the DIF's scope.
+      stats_.inc("ecn_rx");
+      ecn_to_echo_ = true;
+    }
     if (!pol_.reliable) {
       stats_.inc("sdus_delivered");
       deliver_(std::move(payload));
@@ -323,12 +368,18 @@ class Connection {
     p.pci.dest_cep = id_.dst_cep;
     p.pci.src_cep = id_.src_cep;
     p.pci.seq = next_expected_;
+    if (ecn_to_echo_) {
+      p.pci.flags |= kFlagEcnEcho;
+      ecn_to_echo_ = false;
+      stats_.inc("ecn_echoed");
+    }
     stats_.inc("acks_tx");
     send_(std::move(p));
   }
 
   sim::Scheduler& sched_;
   EfcpPolicies pol_;
+  Dtcp dtcp_;
   ConnectionId id_;
   SendFn send_;
   DeliverFn deliver_;
@@ -341,6 +392,7 @@ class Connection {
   std::deque<Packet> sendq_;
   int dup_acks_ = 0;
   int backoff_ = 0;
+  bool pace_scheduled_ = false;
   SimTime rto_;
   SimTime srtt_{};
   SimTime rttvar_{};
@@ -348,6 +400,7 @@ class Connection {
 
   // Receiver.
   std::uint64_t next_expected_ = 0;
+  bool ecn_to_echo_ = false;
   std::map<std::uint64_t, Packet> reorder_;       // in-order: held-back SDUs
   std::set<std::uint64_t> delivered_ooo_;         // unordered: dedup/ack edge
 

@@ -1,0 +1,127 @@
+// dtcp.hpp — Data Transfer Control Protocol: the transmission-control
+// half of EFCP, split out of the DTP machine (connection.hpp).
+//
+// DTP moves and repairs PDUs; DTCP decides *when the sender may
+// transmit*. The decision procedure is a pluggable policy (policies.hpp):
+//
+//   static_window — a fixed cap on PDUs in flight; overload becomes
+//       backpressure to the layer above (the historical default);
+//   aimd_ecn      — a congestion window opened one PDU per RTT and
+//       halved when the receiver echoes an explicit congestion mark set
+//       by a congested RMT queue *inside this DIF* (or on loss). This is
+//       the paper's scoped congestion control: the DIF whose resource is
+//       congested detects and resolves it; upper DIFs only ever see
+//       backpressure;
+//   rate_based    — token-bucket pacing at a configured rate, for hops
+//       whose capacity is known a priori (e.g. a wireless link class).
+//
+// Dtcp holds no PDUs and sends nothing: the DTP machine consults it at
+// each admission point and feeds it ack/mark/loss events.
+#pragma once
+
+#include <cstdint>
+
+#include "efcp/policies.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::efcp {
+
+class Dtcp {
+ public:
+  Dtcp(sim::Scheduler& sched, const EfcpPolicies& pol)
+      : sched_(sched),
+        pol_(pol),
+        cwnd_(pol.initial_cwnd),
+        tokens_(pol.bucket_pdus),
+        last_refill_(sched.now()) {}
+
+  /// Current window: how many PDUs may be in flight at once.
+  [[nodiscard]] std::size_t window() const {
+    if (pol_.tx_policy == TxPolicy::aimd_ecn) {
+      auto w = static_cast<std::size_t>(cwnd_);
+      if (w < pol_.min_cwnd) w = pol_.min_cwnd;
+      return w < pol_.window ? w : pol_.window;
+    }
+    return pol_.window;
+  }
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+
+  [[nodiscard]] bool window_open(std::size_t inflight) const {
+    return inflight < window();
+  }
+
+  /// Rate admission: true when a pacing token is available (always true
+  /// for the window-based policies).
+  [[nodiscard]] bool rate_ready() const {
+    if (pol_.tx_policy != TxPolicy::rate_based) return true;
+    refill();
+    return tokens_ >= 1.0;
+  }
+
+  /// The one admission predicate: may the DTP transmit a new PDU now?
+  [[nodiscard]] bool can_send(std::size_t inflight) const {
+    return window_open(inflight) && rate_ready();
+  }
+
+  /// A new PDU went out (consumes a pacing token under rate_based).
+  void on_sent() {
+    if (pol_.tx_policy == TxPolicy::rate_based) tokens_ -= 1.0;
+  }
+
+  /// Delay until the next pacing token matures (zero for window
+  /// policies or when a token is already available).
+  [[nodiscard]] SimTime next_ready_delay() const {
+    if (rate_ready()) return SimTime{};
+    double missing = 1.0 - tokens_;
+    auto ns = static_cast<std::int64_t>(missing / pol_.rate_pps * 1e9) + 1;
+    return SimTime{ns};
+  }
+
+  /// Cumulative ack advanced by `newly_acked` PDUs. Additive increase:
+  /// one PDU per window's worth of acks (~one per RTT).
+  void on_ack_advance(std::size_t newly_acked) {
+    if (pol_.tx_policy != TxPolicy::aimd_ecn) return;
+    cwnd_ += static_cast<double>(newly_acked) / cwnd_;
+    if (cwnd_ > static_cast<double>(pol_.window))
+      cwnd_ = static_cast<double>(pol_.window);
+  }
+
+  /// Congestion signal (an echoed ECN mark, or loss inferred from RTO /
+  /// fast retransmit). `acked_edge` is the sender's cumulative-ack edge
+  /// and `highest_sent` its next unused sequence number: the window is
+  /// halved at most once per window in flight (a burst of marks from one
+  /// congestion episode must not collapse cwnd to the floor). Returns
+  /// true when the window was actually cut.
+  bool on_congestion(std::uint64_t acked_edge, std::uint64_t highest_sent) {
+    if (pol_.tx_policy != TxPolicy::aimd_ecn) return false;
+    if (acked_edge < recover_) return false;  // still reacting to the last cut
+    recover_ = highest_sent;
+    cwnd_ /= 2.0;
+    double floor = static_cast<double>(pol_.min_cwnd);
+    if (cwnd_ < floor) cwnd_ = floor;
+    return true;
+  }
+
+ private:
+  /// Token refill is observation-driven (no timer): tokens accrue with
+  /// simulated time, capped at the bucket depth. Mutable so admission
+  /// checks stay const for callers.
+  void refill() const {
+    SimTime now = sched_.now();
+    if (last_refill_ < now) {
+      tokens_ += (now - last_refill_).to_sec() * pol_.rate_pps;
+      if (tokens_ > pol_.bucket_pdus) tokens_ = pol_.bucket_pdus;
+      last_refill_ = now;
+    }
+  }
+
+  sim::Scheduler& sched_;
+  const EfcpPolicies& pol_;
+  double cwnd_;
+  std::uint64_t recover_ = 0;    // halve again only past this seq
+  mutable double tokens_;
+  mutable SimTime last_refill_;
+};
+
+}  // namespace rina::efcp

@@ -29,6 +29,14 @@ enum class PduType : std::uint8_t {
 inline constexpr std::uint8_t kFlagFirstFrag = 0x01;
 inline constexpr std::uint8_t kFlagLastFrag = 0x02;
 inline constexpr std::uint8_t kFlagRetransmit = 0x04;
+// Explicit congestion notification, scoped to one DIF: an RMT whose
+// egress queue passes its marking threshold sets kFlagEcn on the data
+// PDUs it relays; the receiving EFCP echoes kFlagEcnEcho on its next
+// ack, and the sender's DTCP (aimd_ecn policy) backs off. The signal
+// never leaves the DIF whose resource is congested — upper DIFs only
+// ever see backpressure.
+inline constexpr std::uint8_t kFlagEcn = 0x08;
+inline constexpr std::uint8_t kFlagEcnEcho = 0x10;
 inline constexpr std::uint8_t kPciVersion = 1;
 inline constexpr std::uint8_t kDefaultTtl = 64;
 // 4 (ver/type/flags/qos) + 8 (addresses) + 4 (CEPs) + 2 (ttl/reserved)

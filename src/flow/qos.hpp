@@ -25,6 +25,13 @@ struct QosCube {
   efcp::QosId id = 0;
   std::string name;
   std::string efcp_policy = "reliable";  // reliable | unreliable | wireless-hop
+  /// DTCP transmission-control policy for flows in this cube:
+  /// "" (= static_window) | "static_window" | "aimd_ecn" | "rate_based".
+  std::string dtcp_policy;
+  /// rate_based parameters: sustained rate and burst tolerance of the
+  /// token bucket. 0 keeps the policy defaults (policies.hpp).
+  double rate_pps = 0.0;
+  double rate_burst_pdus = 0.0;
   std::uint8_t priority = 1;             // lower = more urgent (RMT priority)
   bool reliable = true;
   bool in_order = true;

@@ -136,6 +136,11 @@ relay::PortIndex Ipcp::add_port(PortInit init) {
   p.tx = std::move(init.tx);
   p.is_wire = init.is_wire;
   p.last_heard = sched().now();
+  relay::EgressQueues::Config qc;
+  qc.sched = cfg_.rmt_sched;
+  qc.capacity_pdus = cfg_.rmt_queue_pdus;
+  qc.mark_threshold = cfg_.rmt_ecn_threshold;
+  p.queue.configure(qc);
   ports_.push_back(std::move(p));
   return static_cast<relay::PortIndex>(ports_.size() - 1);
 }
@@ -915,37 +920,35 @@ std::uint8_t Rmt::class_priority(efcp::QosId q) const {
 
 void Rmt::egress(relay::PortIndex port, efcp::Pdu&& pdu) {
   Ipcp::Port& p = self_.ports_[port];
+  std::uint8_t prio = class_priority(pdu.pci.qos_id);
+  // Congestion is detected where the resource lives: a class queue past
+  // its marking threshold stamps the ECN bit on the data PDUs it
+  // *admits* (a tail-dropped PDU is neither stamped nor counted), and
+  // the DIF's own EFCP senders back off (scoped, not end-to-end). The
+  // mark must go on before the encode below freezes the PCI.
+  // A full class queue tail-drops before the encode is paid (full
+  // implies non-empty, so the direct-tx fast path below is unreachable
+  // anyway); push() accounts the drop per class (EgressQueues::drops).
+  if (p.queue.full(prio)) {
+    p.queue.note_drop(prio);
+    stats_.inc("rmt_drops");
+    return;
+  }
+  if (pdu.pci.type == efcp::PduType::data && p.queue.should_mark(prio)) {
+    pdu.pci.flags |= efcp::kFlagEcn;
+    stats_.inc("ecn_marked");
+  }
   // Encode exactly once: the PCI goes into the payload's headroom in
   // place; queueing and drain retries reuse the same frame.
-  std::uint8_t prio = class_priority(pdu.pci.qos_id);
   Packet frame = std::move(pdu).encode_packet();
   if (p.queue.empty()) {
     if (p.tx(frame)) return;
   }
-  // NIC/flow refused or a queue already exists: buffer above the port,
-  // honoring the scheduling discipline.
-  const auto cap = self_.cfg_.rmt_queue_pdus;
-  if (self_.cfg_.rmt_sched == relay::RmtSched::priority) {
-    if (p.queue.size() >= cap) {
-      // Full: the lowest class (queue back, kept sorted) gives way.
-      if (!p.queue.empty() && p.queue.back().priority > prio) {
-        p.queue.pop_back();
-        stats_.inc("rmt_drops");
-      } else {
-        stats_.inc("rmt_drops");
-        return;
-      }
-    }
-    auto it = p.queue.end();
-    while (it != p.queue.begin() && std::prev(it)->priority > prio) --it;
-    p.queue.insert(it, relay::EgressFrame{prio, std::move(frame)});
-  } else {
-    if (p.queue.size() >= cap) {
-      stats_.inc("rmt_drops");
-      return;
-    }
-    p.queue.push_back(relay::EgressFrame{prio, std::move(frame)});
+  if (!p.queue.push(prio, frame)) {
+    stats_.inc("rmt_drops");
+    return;
   }
+  stats_.note_max("rmt_queue_peak", p.queue.peak());
   schedule_drain(port);
 }
 
@@ -966,7 +969,7 @@ void Rmt::drain(relay::PortIndex port) {
   Ipcp::Port& p = self_.ports_[port];
   while (!p.queue.empty()) {
     if (!p.tx(p.queue.front().frame)) break;
-    p.queue.pop_front();
+    p.queue.pop();
   }
   if (!p.queue.empty()) schedule_drain(port);
 }
@@ -1092,10 +1095,25 @@ void FlowAllocator::finish_pending(std::uint32_t invoke_id,
 }
 
 void FlowAllocator::create_connection(FlowRec& rec) {
-  // The policy name selects the mechanism profile (timers, windows); the
+  // The policy name selects the mechanism profile (timers, windows) and
+  // the cube's dtcp_policy the transmission-control discipline; the
   // cube's declared flags are authoritative for the service semantics —
   // flow matching reads the flags, so they must win over the string.
-  efcp::EfcpPolicies pol = efcp::EfcpPolicies::from_policy_name(rec.cube.efcp_policy);
+  // A misconfigured cube (unknown name) is counted and falls back to
+  // defaults: the flow still works, but the operator can see the typo.
+  efcp::EfcpPolicies pol;
+  auto named = efcp::EfcpPolicies::from_policy_name(rec.cube.efcp_policy);
+  if (named.ok()) {
+    pol = named.value();
+  } else {
+    stats_.inc("efcp_policy_unknown");
+  }
+  if (!rec.cube.dtcp_policy.empty()) {
+    if (!pol.set_tx_policy(rec.cube.dtcp_policy).ok())
+      stats_.inc("efcp_policy_unknown");
+  }
+  if (rec.cube.rate_pps > 0.0) pol.rate_pps = rec.cube.rate_pps;
+  if (rec.cube.rate_burst_pdus > 0.0) pol.bucket_pdus = rec.cube.rate_burst_pdus;
   pol.reliable = rec.cube.reliable;
   pol.in_order = rec.cube.in_order;
   efcp::ConnectionId id;

@@ -237,7 +237,7 @@ class Ipcp {
     bool peer_enrolled = false; // valid Hello seen or join completed
     bool hello_sent = false;
     naming::Address peer;
-    std::deque<relay::EgressFrame> queue;  // RMT egress queue above the NIC
+    relay::EgressQueues queue;  // per-QoS bounded RMT egress above the NIC
     bool drain_scheduled = false;
     SimTime last_heard{};
     std::optional<std::uint64_t> join_nonce;  // member side of psk handshake

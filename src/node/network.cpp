@@ -501,4 +501,14 @@ std::uint64_t Network::sum_dif_counter(const naming::DifName& dif,
   return total;
 }
 
+std::uint64_t Network::max_dif_counter(const naming::DifName& dif,
+                                       const std::string& counter) {
+  std::uint64_t best = 0;
+  for (auto& [name, n] : nodes_) {
+    auto* proc = n->ipcp(dif);
+    if (proc != nullptr) best = std::max(best, proc->counter_sum(counter));
+  }
+  return best;
+}
+
 }  // namespace rina::node

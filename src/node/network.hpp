@@ -171,6 +171,12 @@ class Network {
   std::uint64_t sum_dif_counter(const naming::DifName& dif,
                                 const std::string& counter);
 
+  /// Max of a named counter over every member IPCP of `dif` — for
+  /// high-water gauges like "rmt_queue_peak", where summing across
+  /// members would be meaningless.
+  std::uint64_t max_dif_counter(const naming::DifName& dif,
+                                const std::string& counter);
+
   naming::Address allocate_dif_address(const naming::DifName& dif);
   std::uint32_t dif_id_for(const naming::DifName& dif);
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -39,6 +40,106 @@ enum class PoaPolicy {
 enum class RmtSched {
   fifo,      // single egress queue per port
   priority,  // queue ordered by QoS class (lower qos_id first)
+};
+
+/// One port's RMT egress queues: bounded per QoS class, drained by the
+/// DIF's scheduling discipline, with an explicit-congestion marking
+/// threshold. This is where the paper's scoped congestion control is
+/// anchored: depth past the threshold means *this DIF's* resource is
+/// congested, so the RMT sets the ECN bit on the PDUs it queues and the
+/// DIF's own EFCP senders back off — the signal never leaves the DIF.
+/// Under `fifo` all classes share one bounded queue (class 0); under
+/// `priority` each class gets its own bounded queue and the lowest
+/// class value drains first.
+class EgressQueues {
+ public:
+  struct Config {
+    RmtSched sched = RmtSched::fifo;
+    std::size_t capacity_pdus = 512;  // bound per class queue
+    std::size_t mark_threshold = 0;   // depth that sets ECN; 0 = no marking
+  };
+
+  void configure(const Config& cfg) { cfg_ = cfg; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Should a PDU joining class `prio` carry a congestion mark?
+  [[nodiscard]] bool should_mark(std::uint8_t prio) const {
+    return cfg_.mark_threshold != 0 && depth(prio) >= cfg_.mark_threshold;
+  }
+
+  /// Would a frame of class `prio` be tail-dropped right now?
+  [[nodiscard]] bool full(std::uint8_t prio) const {
+    return depth(prio) >= cfg_.capacity_pdus;
+  }
+
+  /// Account a tail-drop of class `prio` (no per-drop allocation).
+  void note_drop(std::uint8_t prio) {
+    ++drops_[cls(prio)];
+    ++total_drops_;
+  }
+
+  /// Queue a frame under class `prio`. False = that class's queue is
+  /// full and the frame was NOT consumed; the drop is accounted here
+  /// per class.
+  [[nodiscard]] bool push(std::uint8_t prio, Packet& frame) {
+    auto& q = classes_[cls(prio)];
+    if (q.size() >= cfg_.capacity_pdus) {
+      note_drop(prio);
+      return false;
+    }
+    q.push_back(EgressFrame{prio, std::move(frame)});
+    ++total_;
+    if (total_ > peak_) peak_ = total_;
+    return true;
+  }
+
+  /// Tail-drop accounting, per class and total.
+  [[nodiscard]] std::uint64_t drops(std::uint8_t prio) const {
+    auto it = drops_.find(cls(prio));
+    return it == drops_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t total_drops() const { return total_drops_; }
+
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] std::size_t size() const { return total_; }
+  /// High-water mark of the total queued depth since construction.
+  [[nodiscard]] std::size_t peak() const { return peak_; }
+  [[nodiscard]] std::size_t depth(std::uint8_t prio) const {
+    auto it = classes_.find(cls(prio));
+    return it == classes_.end() ? 0 : it->second.size();
+  }
+
+  /// Next frame per the discipline: the most urgent non-empty class
+  /// (classes_ is ordered by class value), FIFO within a class.
+  /// Precondition: !empty().
+  [[nodiscard]] EgressFrame& front() {
+    for (auto& [c, q] : classes_)
+      if (!q.empty()) return q.front();
+    static EgressFrame dummy;  // unreachable when the precondition holds
+    return dummy;
+  }
+
+  void pop() {
+    for (auto it = classes_.begin(); it != classes_.end(); ++it) {
+      if (it->second.empty()) continue;
+      it->second.pop_front();
+      --total_;
+      if (it->second.empty()) classes_.erase(it);
+      return;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::uint8_t cls(std::uint8_t prio) const {
+    return cfg_.sched == RmtSched::fifo ? 0 : prio;
+  }
+
+  std::map<std::uint8_t, std::deque<EgressFrame>> classes_;
+  std::map<std::uint8_t, std::uint64_t> drops_;
+  std::uint64_t total_drops_ = 0;
+  std::size_t total_ = 0;
+  std::size_t peak_ = 0;
+  Config cfg_;
 };
 
 class ForwardingTable {

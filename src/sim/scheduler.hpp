@@ -5,9 +5,9 @@
 // seeds — the property every bench leans on for reproducible tables.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -23,7 +23,8 @@ class Scheduler {
 
   void schedule_at(SimTime t, Fn fn) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, seq_++, std::move(fn)});
+    heap_.push_back(Event{t, seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   void schedule_after(SimTime delay, Fn fn) {
@@ -38,7 +39,7 @@ class Scheduler {
 
   /// Run all events with time <= t, then advance now to t.
   void run_until(SimTime t) {
-    while (!queue_.empty() && queue_.top().time <= t) step();
+    while (!heap_.empty() && heap_.front().time <= t) step();
     if (now_ < t) now_ = t;
   }
 
@@ -51,7 +52,7 @@ class Scheduler {
   bool run_until_pred(Pred&& pred, SimTime deadline) {
     for (;;) {
       if (pred()) return true;
-      if (queue_.empty() || queue_.top().time > deadline) {
+      if (heap_.empty() || heap_.front().time > deadline) {
         if (now_ < deadline) now_ = deadline;
         return pred();
       }
@@ -61,29 +62,37 @@ class Scheduler {
 
   /// Pop and run the next event. False if the queue is empty.
   bool step() {
-    if (queue_.empty()) return false;
-    // Move the closure out before running: the handler may schedule.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    if (heap_.empty()) return false;
+    // pop_heap moves the earliest event to the back, where it can be
+    // moved out legitimately before running (the handler may schedule).
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     if (now_ < ev.time) now_ = ev.time;
     ev.fn();
     return true;
   }
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
  private:
   struct Event {
     SimTime time;
     std::uint64_t seq;
     Fn fn;
-    bool operator>(const Event& o) const {
-      if (time.ns != o.time.ns) return time.ns > o.time.ns;
-      return seq > o.seq;
+  };
+
+  /// Heap comparator: the *earliest* (time, insertion seq) wins, so with
+  /// std::push_heap/pop_heap — which surface the comparator's maximum —
+  /// "greater" means "fires later".
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time.ns != b.time.ns) return a.time.ns > b.time.ns;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> heap_;
   SimTime now_{};
   std::uint64_t seq_ = 0;
 };

@@ -1,0 +1,73 @@
+// efcp_pair_harness.hpp — two EFCP endpoints wired back to back over a
+// synchronous "wire", with a pluggable a->b data filter (drop, mark,
+// mutate). Shared by tests/test_efcp.cpp and tests/test_congestion.cpp
+// so the loopback plumbing is maintained once (the stacked-DIF variant
+// lives in efcp_stack_harness.hpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "efcp/connection.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::testx {
+
+struct EfcpPair {
+  /// Inspect/mutate an a->b data PDU; return false to drop it on the
+  /// wire. Acks and b->a traffic always pass.
+  using Filter = std::function<bool(efcp::Pdu&)>;
+
+  sim::Scheduler sched;
+  efcp::Connection* a = nullptr;
+  efcp::Connection* b = nullptr;
+  std::vector<std::string> delivered;  // SDUs surfacing at side B
+  Filter a_to_b;                       // unset = lossless wire
+
+  std::unique_ptr<efcp::Connection> ca, cb;
+
+  explicit EfcpPair(const efcp::EfcpPolicies& pol) {
+    efcp::ConnectionId ida{naming::Address{1, 1}, naming::Address{1, 2}, 1, 2, 0};
+    efcp::ConnectionId idb{naming::Address{1, 2}, naming::Address{1, 1}, 2, 1, 0};
+    ca = std::make_unique<efcp::Connection>(
+        sched, pol, ida,
+        [this](efcp::Pdu&& p) {
+          if (p.pci.type == efcp::PduType::data && a_to_b && !a_to_b(p))
+            return;  // lost on the wire
+          b->on_pdu(p.pci, std::move(p.payload));
+        },
+        [](Packet&&) {});
+    cb = std::make_unique<efcp::Connection>(
+        sched, pol, idb,
+        [this](efcp::Pdu&& p) { a->on_pdu(p.pci, std::move(p.payload)); },
+        [this](Packet&& sdu) { delivered.push_back(to_string(sdu.view())); });
+    a = ca.get();
+    b = cb.get();
+  }
+
+  /// Drop every Nth a->b data PDU; retransmissions are counted but
+  /// never dropped (the historical test-wire semantics).
+  static Filter drop_every(int n) {
+    return [n, count = 0](efcp::Pdu& p) mutable {
+      return !(++count % n == 0 &&
+               (p.pci.flags & efcp::kFlagRetransmit) == 0);
+    };
+  }
+
+  /// Drop everything (fresh and retransmitted alike).
+  static Filter black_hole() {
+    return [](efcp::Pdu&) { return false; };
+  }
+
+  /// Pass everything, stamped with the ECN bit — a congested "RMT".
+  static Filter mark_all() {
+    return [](efcp::Pdu& p) {
+      p.pci.flags |= efcp::kFlagEcn;
+      return true;
+    };
+  }
+};
+
+}  // namespace rina::testx

@@ -7,45 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "efcp_pair_harness.hpp"
 #include "test_util.hpp"
 
 using namespace rina;
-
-namespace {
-
-struct Pair {
-  sim::Scheduler sched;
-  efcp::Connection* a = nullptr;
-  efcp::Connection* b = nullptr;
-  std::vector<std::string> delivered;
-  int drop_every = 0;  // drop every Nth a->b data PDU (0 = never)
-  int a_to_b_count = 0;
-
-  std::unique_ptr<efcp::Connection> ca, cb;
-
-  explicit Pair(const efcp::EfcpPolicies& pol) {
-    efcp::ConnectionId ida{naming::Address{1, 1}, naming::Address{1, 2}, 1, 2, 0};
-    efcp::ConnectionId idb{naming::Address{1, 2}, naming::Address{1, 1}, 2, 1, 0};
-    ca = std::make_unique<efcp::Connection>(
-        sched, pol, ida,
-        [this](efcp::Pdu&& p) {
-          if (p.pci.type == efcp::PduType::data && drop_every > 0 &&
-              ++a_to_b_count % drop_every == 0 &&
-              (p.pci.flags & efcp::kFlagRetransmit) == 0)
-            return;  // lost on the wire
-          b->on_pdu(p.pci, std::move(p.payload));
-        },
-        [](Packet&&) {});
-    cb = std::make_unique<efcp::Connection>(
-        sched, pol, idb,
-        [this](efcp::Pdu&& p) { a->on_pdu(p.pci, std::move(p.payload)); },
-        [this](Packet&& sdu) { delivered.push_back(to_string(sdu.view())); });
-    a = ca.get();
-    b = cb.get();
-  }
-};
-
-}  // namespace
+using rina::testx::EfcpPair;
+using Pair = EfcpPair;
 
 static void lossless_in_order() {
   Pair p{efcp::EfcpPolicies{}};
@@ -60,7 +27,7 @@ static void lossless_in_order() {
 
 static void loss_recovered_in_order() {
   Pair p{efcp::EfcpPolicies{}};
-  p.drop_every = 5;
+  p.a_to_b = EfcpPair::drop_every(5);
   for (int i = 0; i < 100; ++i)
     CHECK(p.a->write_sdu(BytesView{to_bytes("m" + std::to_string(i))}).ok());
   p.sched.run();
@@ -75,7 +42,7 @@ static void window_backpressure() {
   pol.window = 4;
   pol.send_queue = 4;
   Pair p{pol};
-  p.drop_every = 1;  // black hole: nothing gets through, window never opens
+  p.a_to_b = EfcpPair::drop_every(1);  // black hole: the window never opens
   int accepted = 0, refused = 0;
   for (int i = 0; i < 20; ++i) {
     auto r = p.a->write_sdu(BytesView{to_bytes("x")});
@@ -92,10 +59,10 @@ static void window_backpressure() {
 }
 
 static void unreliable_policy() {
-  efcp::EfcpPolicies pol = efcp::EfcpPolicies::from_policy_name("unreliable");
+  efcp::EfcpPolicies pol = efcp::EfcpPolicies::from_policy_name("unreliable").value();
   CHECK(!pol.reliable);
   Pair p{pol};
-  p.drop_every = 4;
+  p.a_to_b = EfcpPair::drop_every(4);
   for (int i = 0; i < 40; ++i)
     CHECK(p.a->write_sdu(BytesView{to_bytes("u")}).ok());  // never refuses
   p.sched.run();
@@ -108,7 +75,7 @@ static void reliable_unordered_delivers_immediately() {
   efcp::EfcpPolicies pol;
   pol.in_order = false;
   Pair p{pol};
-  p.drop_every = 5;  // losses must not head-of-line-block delivery
+  p.a_to_b = EfcpPair::drop_every(5);  // losses must not HOL-block delivery
   for (int i = 0; i < 50; ++i)
     CHECK(p.a->write_sdu(BytesView{to_bytes("m" + std::to_string(i))}).ok());
   p.sched.run();
@@ -127,8 +94,8 @@ static void reliable_unordered_delivers_immediately() {
 }
 
 static void wireless_policy_is_tighter() {
-  auto wh = efcp::EfcpPolicies::from_policy_name("wireless-hop");
-  auto def = efcp::EfcpPolicies::from_policy_name("reliable");
+  auto wh = efcp::EfcpPolicies::from_policy_name("wireless-hop").value();
+  auto def = efcp::EfcpPolicies::from_policy_name("reliable").value();
   CHECK(wh.min_rto < def.min_rto);
   CHECK(wh.initial_rto < def.initial_rto);
   CHECK(wh.reliable);
