@@ -30,11 +30,13 @@ int main() {
   net.add_link("eve", "gw");
 
   std::uint64_t app_deliveries = 0;
-  flow::AppHandler h;
-  h.on_data = [&](flow::PortId, Bytes&&) { ++app_deliveries; };
   if (!net.node("srv")
            .register_app(naming::AppName("payroll"), naming::DifName{"secure"},
-                         std::move(h))
+                         [&app_deliveries](flow::Flow f) {
+                           f.on_readable([&app_deliveries](flow::Flow& fl) {
+                             while (fl.read()) ++app_deliveries;
+                           });
+                         })
            .ok())
     return 1;
   net.run_for(SimTime::from_ms(50));

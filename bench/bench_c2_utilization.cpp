@@ -144,7 +144,7 @@ Out run_rina(bool scoped, double frac) {
 
   std::vector<Sink> sinks;
   sinks.reserve(kFlows);
-  std::vector<flow::FlowInfo> flows;
+  std::vector<flow::Flow> flows;
   for (int i = 1; i <= kFlows; ++i) {
     sinks.emplace_back(net.sched());
     install_sink(net, "s" + std::to_string(i),
@@ -161,8 +161,7 @@ Out run_rina(bool scoped, double frac) {
   std::uint64_t frames_before = bott->stats().get("tx_frames_large");
 
   drive_flows(net.sched(), frac, [&](int i, const Bytes& p) {
-    (void)net.node("h" + std::to_string(i + 1))
-        .write(flows[static_cast<std::size_t>(i)].port, BytesView{p});
+    (void)flows[static_cast<std::size_t>(i)].write(BytesView{p});
   });
   // Goodput is measured over the loaded window only.
   std::uint64_t unique = 0;

@@ -43,9 +43,9 @@ Out run_rina(bool two_poa) {
 
   Sink sink(net.sched());
   install_sink(net, "server", naming::AppName("srv"), naming::DifName{"net"}, sink);
-  auto info = must_open_flow(net, "client", naming::AppName("cli"),
-                             naming::AppName("srv"),
-                             flow::QosSpec::reliable_default());
+  auto f = must_open_flow(net, "client", naming::AppName("cli"),
+                          naming::AppName("srv"),
+                          flow::QosSpec::reliable_default());
   std::uint64_t lsus_before =
       net.sum_dif_counter(naming::DifName{"net"}, "lsus_originated");
 
@@ -68,7 +68,7 @@ Out run_rina(bool two_poa) {
     w.put_u64(static_cast<std::uint64_t>(net.now().ns));
     Bytes stamp = std::move(w).take();
     std::copy(stamp.begin(), stamp.end(), payload.begin());
-    (void)net.node("client").write(info.port, BytesView{payload});
+    (void)f.write(BytesView{payload});
     net.run_for(SimTime::from_ms(1));
     if (sink.unique() > seen) {
       seen = sink.unique();

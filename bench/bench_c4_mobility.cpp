@@ -57,9 +57,9 @@ Out run_rina(SimTime interval) {
 
   Sink sink(net.sched());
   install_sink(net, "M", naming::AppName("mob"), naming::DifName{"top"}, sink);
-  auto info = must_open_flow(net, "S", naming::AppName("srv"),
-                             naming::AppName("mob"),
-                             flow::QosSpec::reliable_default());
+  auto f = must_open_flow(net, "S", naming::AppName("srv"),
+                          naming::AppName("mob"),
+                          flow::QosSpec::reliable_default());
 
   std::uint64_t signaling_before =
       net.sum_dif_counter(naming::DifName{"top"}, "lsus_originated") +
@@ -81,7 +81,7 @@ Out run_rina(SimTime interval) {
       Bytes stamp = std::move(w).take();
       std::copy(stamp.begin(), stamp.end(), payload.begin());
       ++offered;
-      (void)net.node("S").write(info.port, BytesView{payload});
+      (void)f.write(BytesView{payload});
       net.run_for(SimTime::from_sec(1.0 / kPps));
     }
   };

@@ -89,7 +89,7 @@ std::array<ClassResult, 3> run(bool provider_qos) {
 
   std::vector<Sink> sinks;
   sinks.reserve(3);
-  std::vector<flow::FlowInfo> flows;
+  std::vector<flow::Flow> flows;
   for (int i = 0; i < 3; ++i) {
     sinks.emplace_back(net.sched());
     install_sink(net, "dst" + std::to_string(i),
@@ -120,8 +120,7 @@ std::array<ClassResult, 3> run(bool provider_qos) {
       w.put_u64(static_cast<std::uint64_t>(net.now().ns));
       Bytes stamp = std::move(w).take();
       std::copy(stamp.begin(), stamp.end(), payload.begin());
-      (void)net.node("src" + std::to_string(i))
-          .write(flows[static_cast<std::size_t>(i)].port, BytesView{payload});
+      (void)flows[static_cast<std::size_t>(i)].write(BytesView{payload});
     }
     net.run_for(gap);
   }

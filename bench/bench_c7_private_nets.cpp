@@ -67,16 +67,12 @@ int main() {
     Sink sink(net.sched());
     install_sink(net, "hostA1", naming::AppName("srvA"), naming::DifName{"corp"},
                  sink);
-    bool inbound_ok = false;
-    net.node("hostB1").allocate_flow(naming::AppName("peerB"),
-                                     naming::AppName("srvA"),
-                                     flow::QosSpec::reliable_default(),
-                                     [&](Result<flow::FlowInfo> r) {
-                                       inbound_ok = r.ok();
-                                       if (r.ok())
-                                         (void)net.node("hostB1").write(
-                                             r.value().port, to_bytes("hello"));
-                                     });
+    flow::Flow inbound = net.node("hostB1").allocate_flow(
+        naming::AppName("peerB"), naming::AppName("srvA"),
+        flow::QosSpec::reliable_default());
+    net.run_until([&] { return !inbound.is_allocating(); }, SimTime::from_sec(1));
+    bool inbound_ok = inbound.is_open();
+    if (inbound_ok) (void)inbound.write(BytesView{to_bytes("hello")});
     net.run_for(SimTime::from_sec(1));
 
     // Baseline comparator: NAT drops unsolicited inbound (measured).

@@ -24,13 +24,13 @@ int main() {
 
     TablePrinter t({"metric", "value"});
     SimTime before = net.now();
-    auto info = must_open_flow(net, "hostA", naming::AppName("client"),
-                               naming::AppName("server"),
-                               flow::QosSpec::reliable_default());
+    auto f = must_open_flow(net, "hostA", naming::AppName("client"),
+                            naming::AppName("server"),
+                            flow::QosSpec::reliable_default());
     t.add_row({"flow allocation latency (ms)",
                TablePrinter::num((net.now() - before).to_ms(), 3)});
-    t.add_row({"port-id returned", TablePrinter::integer(info.port)});
-    t.add_row({"qos cube", info.cube.name});
+    t.add_row({"port-id returned", TablePrinter::integer(f.port())});
+    t.add_row({"qos cube", f.info().cube.name});
     t.print("Fig1.A flow allocation (name -> port-id, no addresses exposed)");
   }
 
@@ -49,13 +49,13 @@ int main() {
     Sink sink(net.sched());
     install_sink(net, "hostB", naming::AppName("server"), naming::DifName{"net"},
                  sink);
-    auto info = must_open_flow(net, "hostA", naming::AppName("client"),
-                               naming::AppName("server"),
-                               flow::QosSpec::reliable_default());
+    auto f = must_open_flow(net, "hostA", naming::AppName("client"),
+                            naming::AppName("server"),
+                            flow::QosSpec::reliable_default());
 
     double pps = frac * link_mbps * 1e6 / 8.0 / static_cast<double>(sdu);
     SimTime dur = SimTime::from_sec(2);
-    auto load = run_load(net, "hostA", info.port, pps, sdu, dur);
+    auto load = run_load(net, f, pps, sdu, dur);
     settle(net);
 
     double delivered_mbps =

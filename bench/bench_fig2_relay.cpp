@@ -48,13 +48,13 @@ RunOut run_one(bool two_level, double frac) {
 
   Sink sink(net.sched());
   install_sink(net, "hostB", naming::AppName("server"), app_dif, sink);
-  auto info = must_open_flow(net, "hostA", naming::AppName("client"),
-                             naming::AppName("server"),
-                             flow::QosSpec::reliable_default());
+  auto f = must_open_flow(net, "hostA", naming::AppName("client"),
+                          naming::AppName("server"),
+                          flow::QosSpec::reliable_default());
 
   double pps = frac * link_mbps * 1e6 / 8.0 / static_cast<double>(sdu);
   SimTime dur = SimTime::from_sec(2);
-  run_load(net, "hostA", info.port, pps, sdu, dur);
+  run_load(net, f, pps, sdu, dur);
   settle(net);
 
   RunOut out;

@@ -85,13 +85,13 @@ Out run_one(bool layered, double badness, std::uint64_t seed) {
 
   Sink sink(net.sched());
   install_sink(net, "hostB", naming::AppName("sinkapp"), app_dif, sink);
-  auto info = must_open_flow(net, "hostA", naming::AppName("src"),
-                             naming::AppName("sinkapp"),
-                             flow::QosSpec::reliable_default());
+  auto f = must_open_flow(net, "hostA", naming::AppName("src"),
+                          naming::AppName("sinkapp"),
+                          flow::QosSpec::reliable_default());
 
   const double pps = 0.5 * link_mbps * 1e6 / 8.0 / static_cast<double>(sdu);
   SimTime dur = SimTime::from_sec(4);
-  auto load = run_load(net, "hostA", info.port, pps, sdu, dur);
+  auto load = run_load(net, f, pps, sdu, dur);
   settle(net, SimTime::from_sec(4));
 
   Out out;
@@ -100,7 +100,7 @@ Out run_one(bool layered, double badness, std::uint64_t seed) {
   out.goodput_mbps = static_cast<double>(sink.unique()) *
                      static_cast<double>(sdu) * 8.0 / dur.to_sec() / 1e6;
   out.p99_ms = sink.delay_ms().p99();
-  auto* conn = net.node("hostA").ipcp(app_dif)->fa().connection(info.port);
+  auto* conn = net.node("hostA").ipcp(app_dif)->fa().connection(f.port());
   if (conn != nullptr) out.e2e_retx = conn->stats().get("pdus_retx");
   // Hop-level retransmissions: sum over the access DIFs' flow connections.
   for (const char* d : {"acc1", "acc2"})

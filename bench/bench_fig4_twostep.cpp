@@ -24,9 +24,9 @@ Out run_scenario(Network& net, const naming::DifName& dif,
                  const std::string& fail_a, const std::string& fail_b) {
   Sink sink(net.sched());
   install_sink(net, "hostB", naming::AppName("srv"), dif, sink);
-  auto info = must_open_flow(net, "hostA", naming::AppName("cli"),
-                             naming::AppName("srv"),
-                             flow::QosSpec::reliable_default());
+  auto f = must_open_flow(net, "hostA", naming::AppName("cli"),
+                          naming::AppName("srv"),
+                          flow::QosSpec::reliable_default());
 
   std::uint64_t lsus_before = net.sum_dif_counter(dif, "lsus_originated");
 
@@ -57,7 +57,7 @@ Out run_scenario(Network& net, const naming::DifName& dif,
     Bytes stamp = std::move(w).take();
     payload.resize(64);
     std::copy(stamp.begin(), stamp.end(), payload.begin());
-    (void)net.node("hostA").write(info.port, BytesView{payload});
+    (void)f.write(BytesView{payload});
     net.run_for(SimTime::from_ms(1));
     poll();
     if (failed) max_gap_ms = std::max(max_gap_ms, (net.now() - last_delivery).to_ms());
@@ -66,7 +66,7 @@ Out run_scenario(Network& net, const naming::DifName& dif,
   Out out;
   out.outage_ms = max_gap_ms;
   out.lsus = net.sum_dif_counter(dif, "lsus_originated") - lsus_before;
-  auto* conn = net.node("hostA").ipcp(dif)->fa().connection(info.port);
+  auto* conn = net.node("hostA").ipcp(dif)->fa().connection(f.port());
   out.retx = conn != nullptr ? conn->stats().get("pdus_retx") : 0;
   return out;
 }

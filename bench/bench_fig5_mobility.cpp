@@ -76,10 +76,10 @@ int main() {
   // Server flow S -> M over the top DIF.
   Sink sink(net.sched());
   install_sink(net, "M", naming::AppName("mobapp"), naming::DifName{"top"}, sink);
-  auto info = must_open_flow(net, "S", naming::AppName("srv"),
-                             naming::AppName("mobapp"),
-                             flow::QosSpec::reliable_default());
-  run_load(net, "S", info.port, 200.0, 200, SimTime::from_sec(1));
+  auto f = must_open_flow(net, "S", naming::AppName("srv"),
+                          naming::AppName("mobapp"),
+                          flow::QosSpec::reliable_default());
+  run_load(net, f, 200.0, 200, SimTime::from_sec(1));
 
   auto* m_top = net.node("M").ipcp(naming::DifName{"top"});
   naming::Address top_addr_initial = m_top->address();
@@ -103,7 +103,7 @@ int main() {
          tp = snapshot(net, "top");
     if (!net.connect_members(naming::DifName{"acc1"}, "M", "bs1b").ok()) return 1;
     (void)net.set_link_state("M", "bs1a", false);
-    run_load(net, "S", info.port, 200.0, 200, SimTime::from_sec(1), 1u << 20);
+    run_load(net, f, 200.0, 200, SimTime::from_sec(1), 1u << 20);
     settle(net, SimTime::from_sec(1));
     report("local move (new PoA in acc1)", a1, a2, tp);
   }
@@ -124,7 +124,7 @@ int main() {
                 {"M", "gw2", naming::DifName{"acc2"}, {}})
              .ok())
       return 1;
-    run_load(net, "S", info.port, 200.0, 200, SimTime::from_sec(1), 2u << 20);
+    run_load(net, f, 200.0, 200, SimTime::from_sec(1), 2u << 20);
     settle(net, SimTime::from_sec(1));
     report("wide move (acc1 -> acc2)", a1, a2, tp);
   }

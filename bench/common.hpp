@@ -99,13 +99,18 @@ class Sink {
   Histogram delay_ms_;
 };
 
-/// Register `app` on `dif` at `on_node`, delivering into `sink`.
+/// Register `app` on `dif` at `on_node`, delivering into `sink`: every
+/// accepted flow drains its bounded rx queue into the Sink on readable.
+/// The allocator owns the flow state while flows live, so the accept
+/// closure need not retain the handles.
 inline void install_sink(Network& net, const std::string& on_node,
                          const naming::AppName& app, const naming::DifName& dif,
                          Sink& sink) {
-  flow::AppHandler h;
-  h.on_data = [&sink](flow::PortId, Bytes&& sdu) { sink.deliver(BytesView{sdu}); };
-  auto r = net.node(on_node).register_app(app, dif, std::move(h));
+  auto r = net.node(on_node).register_app(app, dif, [&sink](flow::Flow f) {
+    f.on_readable([&sink](flow::Flow& fl) {
+      while (auto sdu = fl.read()) sink.deliver(BytesView{*sdu});
+    });
+  });
   if (!r.ok()) {
     std::fprintf(stderr, "install_sink failed: %s\n", r.error().to_string().c_str());
     std::abort();
@@ -113,25 +118,23 @@ inline void install_sink(Network& net, const std::string& on_node,
   net.run_for(SimTime::from_ms(60));
 }
 
-/// Allocate a flow and abort on failure (benches expect working setups).
-inline flow::FlowInfo must_open_flow(Network& net, const std::string& from,
-                                     const naming::AppName& local,
-                                     const naming::AppName& remote,
-                                     const flow::QosSpec& spec,
-                                     const naming::DifName* pin = nullptr) {
-  std::optional<Result<flow::FlowInfo>> got;
-  auto cb = [&](Result<flow::FlowInfo> r) { got = std::move(r); };
-  if (pin != nullptr)
-    net.node(from).allocate_flow_on(*pin, local, remote, spec, cb);
-  else
-    net.node(from).allocate_flow(local, remote, spec, cb);
-  net.run_until([&] { return got.has_value(); }, SimTime::from_sec(10));
-  if (!got || !got->ok()) {
+/// Allocate a flow by name and abort unless it opens (benches expect
+/// working setups). `pin` uses the allocate_flow_on escape hatch.
+inline flow::Flow must_open_flow(Network& net, const std::string& from,
+                                 const naming::AppName& local,
+                                 const naming::AppName& remote,
+                                 const flow::QosSpec& spec,
+                                 const naming::DifName* pin = nullptr) {
+  flow::Flow f = pin != nullptr
+                     ? net.node(from).allocate_flow_on(*pin, local, remote, spec)
+                     : net.node(from).allocate_flow(local, remote, spec);
+  net.run_until([&] { return !f.is_allocating(); }, SimTime::from_sec(10));
+  if (!f.is_open()) {
     std::fprintf(stderr, "flow allocation failed: %s\n",
-                 got ? got->error().to_string().c_str() : "timeout");
+                 f.is_allocating() ? "timeout" : f.error().to_string().c_str());
     std::abort();
   }
-  return got->value();
+  return f;
 }
 
 /// Open-loop CBR driver: offers `pps` stamped SDUs/s for `duration`.
@@ -142,9 +145,9 @@ struct LoadResult {
   std::uint64_t accepted = 0;
 };
 
-inline LoadResult run_load(Network& net, const std::string& from,
-                           flow::PortId port, double pps, std::size_t sdu_bytes,
-                           SimTime duration, std::uint64_t first_seq = 0) {
+inline LoadResult run_load(Network& net, flow::Flow& f, double pps,
+                           std::size_t sdu_bytes, SimTime duration,
+                           std::uint64_t first_seq = 0) {
   LoadResult res;
   Bytes payload(std::max<std::size_t>(sdu_bytes, 16), 0xCD);
   SimTime end = net.now() + SimTime::from_sec(duration.to_sec() * duration_scale());
@@ -158,7 +161,7 @@ inline LoadResult run_load(Network& net, const std::string& from,
     std::copy(stamp.begin(), stamp.end(), payload.begin());
     ++res.offered;
     ++seq;
-    if (net.node(from).write(port, BytesView{payload}).ok()) ++res.accepted;
+    if (f.write(BytesView{payload}).ok()) ++res.accepted;
     net.run_for(gap);
   }
   return res;

@@ -18,6 +18,8 @@ enum class Err {
   refused,
   flow_closed,
   backpressure,
+  would_block,
+  no_such_cube,
   not_found,
   already_exists,
   auth_failed,
@@ -34,6 +36,8 @@ inline const char* err_name(Err e) {
     case Err::refused: return "refused";
     case Err::flow_closed: return "flow-closed";
     case Err::backpressure: return "backpressure";
+    case Err::would_block: return "would-block";
+    case Err::no_such_cube: return "no-such-cube";
     case Err::not_found: return "not-found";
     case Err::already_exists: return "already-exists";
     case Err::auth_failed: return "auth-failed";

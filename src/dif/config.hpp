@@ -39,6 +39,12 @@ struct DifConfig {
   std::size_t rmt_queue_pdus = 512;
   std::size_t rmt_ecn_threshold = 0;
 
+  /// Per-flow application receive queue depth (SDUs). The flow allocator
+  /// delivers into this bounded queue and the app pulls with Flow::read;
+  /// overflow is dropped and counted (app_rx_dropped) — the reader, not
+  /// the network, is the one falling behind.
+  std::size_t app_rx_queue_sdus = 64;
+
   /// Route on region prefixes instead of full addresses (one FIB entry
   /// per foreign region).
   bool aggregate_regions = false;

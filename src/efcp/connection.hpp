@@ -80,6 +80,7 @@ class Connection {
       return {Err::invalid, "SDU exceeds the PCI length field (no fragmentation)"};
     if (would_refuse()) {
       stats_.inc("write_refused");
+      refused_ = true;
       return {Err::backpressure, "EFCP window and send queue full"};
     }
     Packet pkt = Packet::with_headroom(kDefaultHeadroom, sdu);
@@ -106,6 +107,7 @@ class Connection {
     if (!sendq_.empty() || !dtcp_.can_send(inflight_.size())) {
       if (would_refuse()) {
         stats_.inc("write_refused");
+        refused_ = true;
         return {Err::backpressure, "EFCP window and send queue full"};
       }
       sendq_.push_back(std::move(sdu));
@@ -137,6 +139,14 @@ class Connection {
 
   [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
   [[nodiscard]] std::size_t queued() const { return sendq_.size(); }
+
+  /// Arm a one-per-refusal writability signal: after a write has been
+  /// refused with backpressure, `cb` fires (from a fresh scheduler event,
+  /// never reentrantly) once the window/queue can admit again. The flow
+  /// allocator uses this to drive the app-visible on_writable hook.
+  void set_on_writable(std::function<void()> cb) {
+    on_writable_ = std::move(cb);
+  }
 
   /// DTCP visibility (tests, diagnostics): the current transmission
   /// window and, for aimd_ecn, the raw congestion window.
@@ -195,6 +205,22 @@ class Connection {
       transmit_new(std::move(next));
     }
     schedule_paced_drain();
+    maybe_notify_writable();
+  }
+
+  /// A refused writer gets one wake-up when admission reopens. Deferred
+  /// through the scheduler so the callback never reenters the caller that
+  /// triggered the drain; the refusal predicate is rechecked at fire time
+  /// (another writer may have refilled the queue meanwhile).
+  void maybe_notify_writable() {
+    if (!refused_ || !on_writable_ || would_refuse()) return;
+    refused_ = false;
+    std::weak_ptr<bool> alive = alive_;
+    sched_.schedule_after(SimTime{0}, [this, alive] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      if (on_writable_ && !would_refuse()) on_writable_();
+    });
   }
 
   /// Under rate_based pacing the window can be open while the token
@@ -383,6 +409,7 @@ class Connection {
   ConnectionId id_;
   SendFn send_;
   DeliverFn deliver_;
+  std::function<void()> on_writable_;
   Stats stats_;
 
   // Sender.
@@ -393,6 +420,7 @@ class Connection {
   int dup_acks_ = 0;
   int backoff_ = 0;
   bool pace_scheduled_ = false;
+  bool refused_ = false;  // a write hit backpressure; wake-up armed
   SimTime rto_;
   SimTime srtt_{};
   SimTime rttvar_{};

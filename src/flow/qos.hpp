@@ -61,13 +61,8 @@ struct FlowInfo {
   naming::DifName dif;
 };
 
-/// Callbacks a registered application hands to the flow allocator.
-struct AppHandler {
-  std::function<void(PortId, Bytes&&)> on_data;
-  std::function<void(PortId, const FlowInfo&)> on_new_flow;
-  std::function<void(PortId)> on_closed;
-};
-
+/// Internal allocator plumbing (the app-facing surface is flow/flow.hpp's
+/// Flow handle; the Network façade uses this for overlay adjacencies).
 using AllocateCallback = std::function<void(Result<FlowInfo>)>;
 
 }  // namespace rina::flow

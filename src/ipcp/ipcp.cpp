@@ -25,7 +25,8 @@ constexpr const char* kClsDirUpd = "DirUpd";
 constexpr const char* kClsDirSync = "DirSync";
 constexpr const char* kClsFlowReq = "FlowReq";
 constexpr const char* kClsFlowResp = "FlowResp";
-constexpr const char* kClsFlowTeardown = "FlowTeardown";
+constexpr const char* kClsFlowRelease = "FlowRelease";
+constexpr const char* kClsFlowReleaseAck = "FlowReleaseAck";
 
 constexpr SimTime kHelloRetry = SimTime::from_ms(200);
 constexpr SimTime kJoinTimeout = SimTime::from_ms(600);
@@ -38,6 +39,13 @@ constexpr SimTime kDrainRetry = SimTime::from_us(200);
 constexpr SimTime kAllocRetry = SimTime::from_ms(10);
 constexpr SimTime kAllocResend = SimTime::from_ms(500);
 constexpr SimTime kAllocDeadline = SimTime::from_sec(8);
+// Release handshake: retry until the peer acks, then give up and retire
+// unilaterally (the peer may be gone — a leaked port would be worse).
+constexpr SimTime kReleaseRetry = SimTime::from_ms(250);
+constexpr int kMaxReleaseAttempts = 4;
+// Writability poll gap for unreliable flows blocked on a full RMT class
+// queue (no ack clock exists to wake them).
+constexpr SimTime kRmtPollGap = SimTime::from_us(400);
 constexpr int kMaxJoinAttempts = 3;
 constexpr std::uint64_t kHelloNonce = 0x48454c4c4f754c4cULL;
 // Keep management snapshots comfortably inside the PCI's u16 payload
@@ -243,8 +251,10 @@ void Ipcp::deliver_local(efcp::Pdu&& pdu) {
       fa_.on_flow_req(pdu.pci, msg);
     } else if (msg.obj_class == kClsFlowResp) {
       fa_.on_flow_resp(pdu.pci, msg);
-    } else if (msg.obj_class == kClsFlowTeardown) {
-      fa_.on_flow_teardown(pdu.pci, msg);
+    } else if (msg.obj_class == kClsFlowRelease) {
+      fa_.on_flow_release(pdu.pci, msg);
+    } else if (msg.obj_class == kClsFlowReleaseAck) {
+      fa_.on_flow_release_ack(pdu.pci, msg);
     }
     return;
   }
@@ -912,6 +922,15 @@ Result<void> Rmt::egress_via(relay::PortIndex port, efcp::Pdu&& pdu) {
   return Ok();
 }
 
+bool Rmt::would_accept(naming::Address dest, efcp::QosId qos) const {
+  auto out = fib_.lookup(
+      dest, [this](relay::PortIndex i) { return self_.port_up(i); });
+  // No route: the write will be dropped (and counted) downstream, not
+  // blocked — blocking on an unroutable destination would never wake.
+  if (!out) return true;
+  return !self_.ports_[*out].queue.full(class_priority(qos));
+}
+
 std::uint8_t Rmt::class_priority(efcp::QosId q) const {
   for (const auto& c : self_.cfg_.cubes)
     if (c.id == q) return c.priority;
@@ -977,8 +996,8 @@ void Rmt::drain(relay::PortIndex port) {
 // ========================= FlowAllocator =========================
 
 Result<void> FlowAllocator::register_app(const naming::AppName& app,
-                                         flow::AppHandler handler) {
-  auto [it, inserted] = apps_.emplace(app, std::move(handler));
+                                         flow::AcceptFn accept) {
+  auto [it, inserted] = apps_.emplace(app, std::move(accept));
   if (!inserted) return {Err::already_exists, app.to_string()};
   stats_.inc("apps_registered");
   self_.publish_app(app);
@@ -987,6 +1006,18 @@ Result<void> FlowAllocator::register_app(const naming::AppName& app,
 
 bool FlowAllocator::can_resolve(const naming::AppName& app) const {
   return self_.dir_.lookup(app).has_value();
+}
+
+const flow::QosCube* FlowAllocator::find_cube(const flow::QosSpec& spec) const {
+  for (const auto& c : self_.cfg_.cubes)
+    if (!spec.cube_hint.empty() ? c.name == spec.cube_hint
+                                : c.reliable == spec.reliable)
+      return &c;
+  return nullptr;
+}
+
+bool FlowAllocator::can_satisfy(const flow::QosSpec& spec) const {
+  return find_cube(spec) != nullptr;
 }
 
 FlowAllocator::FlowRec* FlowAllocator::by_port(flow::PortId p) {
@@ -999,17 +1030,19 @@ void FlowAllocator::allocate(const naming::AppName& local,
                              const flow::QosSpec& spec,
                              flow::AllocateCallback cb) {
   // Resolve the QoS cube first: asking for a class the DIF does not offer
-  // is an immediate, local failure.
-  const flow::QosCube* cube = nullptr;
-  for (const auto& c : self_.cfg_.cubes) {
-    if (!spec.cube_hint.empty() ? c.name == spec.cube_hint
-                                : c.reliable == spec.reliable) {
-      cube = &c;
-      break;
-    }
-  }
+  // is an immediate, local, *typed* failure — a cube_hint naming a class
+  // this DIF lacks must not silently fall back to flag matching.
+  const flow::QosCube* cube = find_cube(spec);
   if (cube == nullptr) {
-    cb({Err::not_found, "no matching QoS cube in DIF " + self_.cfg_.name.str()});
+    if (!spec.cube_hint.empty()) {
+      stats_.inc("alloc_no_such_cube");
+      cb({Err::no_such_cube, "DIF " + self_.cfg_.name.str() +
+                                 " offers no QoS cube named '" +
+                                 spec.cube_hint + "'"});
+    } else {
+      cb({Err::not_found,
+          "no matching QoS cube in DIF " + self_.cfg_.name.str()});
+    }
     return;
   }
   std::uint32_t invoke = next_invoke_++;
@@ -1129,18 +1162,83 @@ void FlowAllocator::create_connection(FlowRec& rec) {
       [this, port](Packet&& sdu) {
         FlowRec* r = by_port(port);
         if (r == nullptr) return;
-        if (r->sink) {
-          // Internal consumer (an overlay port riding this flow): hand
-          // the Packet through — the recursion stays zero-copy.
-          r->sink(std::move(sdu));
-        } else if (r->has_app) {
-          auto ait = apps_.find(r->app);
-          if (ait != apps_.end() && ait->second.on_data)
-            ait->second.on_data(port, std::move(sdu).take_bytes());
-        } else {
-          stats_.inc("sdus_unconsumed");
-        }
+        deliver_sdu(*r, std::move(sdu));
       });
+}
+
+void FlowAllocator::deliver_sdu(FlowRec& rec, Packet&& sdu) {
+  if (rec.sink) {
+    // Internal consumer (an overlay port riding this flow): hand the
+    // Packet through — the recursion stays zero-copy.
+    rec.sink(std::move(sdu));
+    return;
+  }
+  if (rec.shared) {
+    flow::detail::FlowShared& sh = *rec.shared;
+    if (sh.rx.size() >= sh.rx_cap) {
+      // The app is not reading: bounded queue, counted drop. The loss is
+      // charged to the reader here, never hidden in unbounded memory.
+      stats_.inc("app_rx_dropped");
+      return;
+    }
+    sh.push_rx(std::move(sdu).take_bytes());
+    return;
+  }
+  stats_.inc("sdus_unconsumed");
+}
+
+void FlowAllocator::attach_handle(
+    flow::PortId port, std::shared_ptr<flow::detail::FlowShared> shared) {
+  FlowRec* rec = by_port(port);
+  if (rec == nullptr) {
+    shared->finish_close(Error{Err::flow_closed, "flow vanished"});
+    return;
+  }
+  rec->shared = shared;
+  shared->rx_cap = self_.cfg_.app_rx_queue_sdus;
+  shared->node_stats = self_.host_.node_stats();
+  std::weak_ptr<bool> alive = self_.alive_token_;
+  shared->do_write = [this, port, alive](BytesView sdu) -> Result<void> {
+    auto a = alive.lock();
+    if (!a || !*a) return {Err::flow_closed, "IPC process gone"};
+    return write(port, sdu);
+  };
+  shared->do_deallocate = [this, port, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    (void)deallocate(port);
+  };
+  if (rec->conn)
+    rec->conn->set_on_writable([this, port] { notify_writable(port); });
+}
+
+void FlowAllocator::notify_writable(flow::PortId port) {
+  FlowRec* rec = by_port(port);
+  if (rec == nullptr || !rec->shared || rec->closing) return;
+  if (rec->shared->state != flow::FlowState::open) return;
+  rec->shared->fire_writable();
+}
+
+/// Unreliable flows blocked on a full RMT class queue have no ack clock
+/// to wake them; poll the queue until it has room, then fire on_writable.
+void FlowAllocator::arm_rmt_poll(FlowRec& rec) {
+  if (rec.rmt_poll_armed) return;
+  rec.rmt_poll_armed = true;
+  flow::PortId port = rec.port;
+  std::uint64_t epoch = rec.epoch;
+  std::weak_ptr<bool> alive = self_.alive_token_;
+  self_.sched().schedule_after(kRmtPollGap, [this, port, epoch, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    FlowRec* r = by_port(port);
+    if (r == nullptr || r->epoch != epoch) return;
+    r->rmt_poll_armed = false;
+    if (!r->shared || !r->shared->want_writable || r->closing) return;
+    if (self_.rmt_.would_accept(r->peer, r->cube.id))
+      notify_writable(port);
+    else
+      arm_rmt_poll(*r);
+  });
 }
 
 void FlowAllocator::on_flow_req(const efcp::Pci& /*pci*/, const rib::RiepMessage& m) {
@@ -1188,6 +1286,7 @@ void FlowAllocator::on_flow_req(const efcp::Pci& /*pci*/, const rib::RiepMessage
   for (const auto& c : self_.cfg_.cubes)
     if (c.name == cube_name) cube = &c;
   if (cube == nullptr) {
+    stats_.inc("alloc_no_such_cube");
     reply(false, 0, "no such QoS cube: " + cube_name);
     return;
   }
@@ -1200,8 +1299,7 @@ void FlowAllocator::on_flow_req(const efcp::Pci& /*pci*/, const rib::RiepMessage
   rec->cube = *cube;
   rec->local_cep = next_cep_++;
   rec->remote_cep = src_cep;
-  rec->app = dst_app;
-  rec->has_app = true;
+  rec->epoch = next_epoch_++;
   create_connection(*rec);
   flow::PortId port = rec->port;
   by_cep_[rec->local_cep] = port;
@@ -1216,8 +1314,17 @@ void FlowAllocator::on_flow_req(const efcp::Pci& /*pci*/, const rib::RiepMessage
   info.dif = self_.cfg_.name;
   efcp::CepId local_cep = rec->local_cep;
   flows_.emplace(port, std::move(rec));
-  if (ait->second.on_new_flow) ait->second.on_new_flow(port, info);
+  // Reply BEFORE handing the app its handle: an accept handler that
+  // writes immediately (server-push) would otherwise race its own SDUs
+  // ahead of the FlowResp through the FIFO RMT queue, and the initiator
+  // — which learns the CEP only from the response — would drop them.
   reply(true, local_cep, {});
+  // Hand the accepting application a first-class handle. The record owns
+  // the shared state, so the app may drop the handle and live off hooks.
+  auto shared = std::make_shared<flow::detail::FlowShared>();
+  shared->open_with(info);
+  attach_handle(port, shared);
+  if (ait->second) ait->second(flow::Flow(shared));
 }
 
 void FlowAllocator::on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m) {
@@ -1244,6 +1351,7 @@ void FlowAllocator::on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m
   rec->cube = pend.cube;
   rec->local_cep = pend.local_cep;
   rec->remote_cep = cep;
+  rec->epoch = next_epoch_++;
   create_connection(*rec);
 
   flow::FlowInfo info;
@@ -1258,42 +1366,121 @@ void FlowAllocator::on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m
   finish_pending(m.invoke_id, info);
 }
 
-void FlowAllocator::on_flow_teardown(const efcp::Pci& pci,
-                                     const rib::RiepMessage& m) {
-  (void)pci;
-  BufReader r(BytesView{m.value});
-  efcp::CepId cep = r.get_u16();
-  if (!r.ok()) return;
-  auto it = by_cep_.find(cep);
-  if (it == by_cep_.end()) return;
-  FlowRec* rec = by_port(it->second);
-  if (rec != nullptr) close_flow(*rec, false);
+// ---- deallocation: the release exchange ----
+//
+// deallocate() → FlowRelease → peer retires its port, fires its app's
+// on_closed, replies FlowReleaseAck → initiator retires its port. The
+// release retries until acked; an unreachable peer costs bounded retries
+// before the initiator retires unilaterally. Both directions are
+// idempotent: a duplicate release for an already-retired CEP is acked
+// again (the first ack may have been lost) but closes nothing twice.
+
+/// The one encoder of the release wire format, shared by deallocate's
+/// retried path and close_all's parting shot.
+rib::RiepMessage FlowAllocator::release_msg(const FlowRec& rec) {
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::remove;
+  m.obj_name = "/dif/flows/" + rec.local.to_string();
+  m.obj_class = kClsFlowRelease;
+  BufWriter w(8);
+  w.put_u16(rec.remote_cep);  // the peer's CEP: how it finds the flow
+  w.put_u16(rec.local_cep);   // ours: how its ack finds us
+  m.value = std::move(w).take();
+  return m;
 }
 
-void FlowAllocator::close_flow(FlowRec& rec, bool notify_peer) {
-  if (notify_peer && !rec.peer.is_null()) {
-    rib::RiepMessage m;
-    m.op = rib::RiepOp::remove;
-    m.obj_name = "/dif/flows/" + rec.local.to_string();
-    m.obj_class = "FlowTeardown";
-    BufWriter w(4);
-    w.put_u16(rec.remote_cep);
-    m.value = std::move(w).take();
-    self_.send_routed_mgmt(rec.peer, m);
+Result<void> FlowAllocator::deallocate(flow::PortId port) {
+  FlowRec* rec = by_port(port);
+  if (rec == nullptr) return {Err::flow_closed, "no such flow"};
+  if (rec->closing) return Ok();  // already in flight: idempotent
+  rec->closing = true;
+  if (rec->shared) rec->shared->state = flow::FlowState::closing;
+  stats_.inc("releases_initiated");
+  send_release(port);
+  return Ok();
+}
+
+void FlowAllocator::send_release(flow::PortId port) {
+  FlowRec* rec = by_port(port);
+  if (rec == nullptr || !rec->closing) return;
+  if (rec->release_attempts >= kMaxReleaseAttempts || rec->peer.is_null()) {
+    if (rec->release_attempts >= kMaxReleaseAttempts)
+      stats_.inc("release_timeouts");
+    finish_close(*rec);
+    return;
   }
+  ++rec->release_attempts;
+  self_.send_routed_mgmt(rec->peer, release_msg(*rec));
+
+  std::uint64_t epoch = rec->epoch;
+  std::weak_ptr<bool> alive = self_.alive_token_;
+  self_.sched().schedule_after(kReleaseRetry, [this, port, epoch, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    FlowRec* r = by_port(port);
+    // The epoch guard keeps a stale timer from touching a recycled port.
+    if (r != nullptr && r->epoch == epoch && r->closing) send_release(port);
+  });
+}
+
+void FlowAllocator::on_flow_release(const efcp::Pci& pci,
+                                    const rib::RiepMessage& m) {
+  BufReader r(BytesView{m.value});
+  efcp::CepId my_cep = r.get_u16();
+  efcp::CepId peer_cep = r.get_u16();
+  if (!r.ok()) return;
+  // Ack before looking anything up: a retried release for a flow we
+  // already retired must still be acked or the peer retries to timeout.
+  rib::RiepMessage ack;
+  ack.op = rib::RiepOp::reply;
+  ack.obj_name = m.obj_name;
+  ack.obj_class = kClsFlowReleaseAck;
+  BufWriter w(4);
+  w.put_u16(peer_cep);
+  ack.value = std::move(w).take();
+  self_.send_routed_mgmt(pci.src, ack);
+
+  auto it = by_cep_.find(my_cep);
+  if (it == by_cep_.end()) return;
+  FlowRec* rec = by_port(it->second);
+  if (rec == nullptr) return;
+  // Only the flow's actual peer may release it; a forged release from
+  // another member must not tear down someone else's flow.
+  if (!(rec->peer == pci.src)) return;
+  stats_.inc("releases_received");
+  finish_close(*rec);
+}
+
+void FlowAllocator::on_flow_release_ack(const efcp::Pci& pci,
+                                        const rib::RiepMessage& m) {
+  BufReader r(BytesView{m.value});
+  efcp::CepId my_cep = r.get_u16();
+  if (!r.ok()) return;
+  auto it = by_cep_.find(my_cep);
+  if (it == by_cep_.end()) return;
+  FlowRec* rec = by_port(it->second);
+  if (rec == nullptr || !rec->closing) return;
+  if (!(rec->peer == pci.src)) return;
+  finish_close(*rec);
+}
+
+/// Retire a flow's state: stats folded up, internal sink told, the app
+/// handle closed (on_closed exactly once), maps pruned, port recycled.
+void FlowAllocator::finish_close(FlowRec& rec) {
   stats_.inc("flows_closed");
   if (rec.conn) stats_.merge(rec.conn->stats());
   if (rec.on_closed) rec.on_closed();
-  if (rec.has_app) {
-    auto ait = apps_.find(rec.app);
-    if (ait != apps_.end() && ait->second.on_closed)
-      ait->second.on_closed(rec.port);
-  }
+  std::shared_ptr<flow::detail::FlowShared> shared = std::move(rec.shared);
+  flow::PortId port = rec.port;
   std::uint64_t key =
       (static_cast<std::uint64_t>(rec.peer.key()) << 16) | rec.remote_cep;
   remote_flow_index_.erase(key);
   by_cep_.erase(rec.local_cep);
   flows_.erase(rec.port);  // rec dies here
+  self_.host_.release_port_id(port);
+  // Fire the app hook after the record is gone, so a handler that
+  // immediately allocates a new flow sees consistent allocator state.
+  if (shared) shared->finish_close(Error{});
 }
 
 void FlowAllocator::close_all(bool notify_peers) {
@@ -1302,14 +1489,47 @@ void FlowAllocator::close_all(bool notify_peers) {
   for (const auto& [port, rec] : flows_) ports.push_back(port);
   for (flow::PortId port : ports) {
     FlowRec* rec = by_port(port);
-    if (rec != nullptr) close_flow(*rec, notify_peers);
+    if (rec == nullptr) continue;
+    if (notify_peers && !rec->peer.is_null()) {
+      // Departing: one best-effort release so the peer's port state (and
+      // its app's on_closed) retires too; no retries — we won't be here
+      // to hear the ack.
+      self_.send_routed_mgmt(rec->peer, release_msg(*rec));
+    }
+    finish_close(*rec);
   }
 }
 
 Result<void> FlowAllocator::write(flow::PortId port, BytesView sdu) {
   FlowRec* rec = by_port(port);
   if (rec == nullptr || !rec->conn) return {Err::flow_closed, "no such flow"};
-  return rec->conn->write_sdu(sdu);
+  if (rec->closing) {
+    self_.host_.node_stats()->inc("app_write_bad_port");
+    return {Err::flow_closed, "flow is closing"};
+  }
+  // Unreliable flows have no window to refuse at; probe the RMT class
+  // queue so saturation surfaces as would_block instead of tail-drop.
+  // The probe repeats the FIB lookup Rmt::send will do — accepted: the
+  // app edge is not the relay hot path, and a stale cached port would
+  // trade that lookup for missed backpressure after every reroute.
+  if (!rec->cube.reliable &&
+      !self_.rmt_.would_accept(rec->peer, rec->cube.id)) {
+    stats_.inc("write_would_block");
+    if (rec->shared) {
+      rec->shared->want_writable = true;
+      arm_rmt_poll(*rec);
+    }
+    return {Err::would_block, "RMT class queue full"};
+  }
+  auto r = rec->conn->write_sdu(sdu);
+  if (!r.ok() && r.error().code == Err::backpressure) {
+    // The EFCP's refusal is the app edge's would_block: the DTCP window
+    // and the bounded send queue are both full.
+    stats_.inc("write_would_block");
+    if (rec->shared) rec->shared->want_writable = true;
+    return {Err::would_block, r.error().msg};
+  }
+  return r;
 }
 
 Result<void> FlowAllocator::write_pkt(flow::PortId port, Packet& sdu) {

@@ -31,6 +31,7 @@
 #include "dif/config.hpp"
 #include "efcp/connection.hpp"
 #include "efcp/pci.hpp"
+#include "flow/flow.hpp"
 #include "flow/qos.hpp"
 #include "naming/directory.hpp"
 #include "naming/names.hpp"
@@ -51,6 +52,12 @@ class IpcpHost {
   virtual sim::Scheduler& sched() = 0;
   virtual naming::Address allocate_dif_address(const naming::DifName& dif) = 0;
   virtual flow::PortId allocate_port_id() = 0;
+  /// A flow retired its port-id; the node may recycle it (handles hold
+  /// shared state, never bare port-ids, so recycling cannot alias).
+  virtual void release_port_id(flow::PortId port) = 0;
+  /// The node's own stats (app-edge misuse counters are per node, not
+  /// per DIF). Shared so a Flow handle outliving the node stays safe.
+  virtual std::shared_ptr<Stats> node_stats() = 0;
 };
 
 /// Relaying and Multiplexing Task: the forwarding engine of one IPCP.
@@ -71,6 +78,11 @@ class Rmt {
   /// Queue on a port, honoring the DIF's scheduling discipline.
   void egress(relay::PortIndex port, efcp::Pdu&& pdu);
   void drain(relay::PortIndex port);
+
+  /// Would a PDU to `dest` in class `qos` clear the egress queue right
+  /// now? The app edge asks this for unreliable flows (no window to
+  /// refuse at) so saturation surfaces as would_block, not tail-drop.
+  [[nodiscard]] bool would_accept(naming::Address dest, efcp::QosId qos) const;
 
  private:
   friend class Ipcp;
@@ -101,24 +113,42 @@ class Enrollment {
   std::uint64_t nonce_counter_ = 0;
 };
 
-/// Flow allocator: names in, port-ids out.
+/// Flow allocator: names in, Flow handles out.
 class FlowAllocator {
  public:
   explicit FlowAllocator(Ipcp& self) : self_(self) {}
 
   Stats& stats() { return stats_; }
 
-  Result<void> register_app(const naming::AppName& app, flow::AppHandler handler);
+  /// Register an application by name. `accept` receives a Flow handle for
+  /// every incoming flow; the allocator keeps the flow's shared state
+  /// alive while it is open, so the app may drop the handle and work
+  /// purely from the event hooks.
+  Result<void> register_app(const naming::AppName& app, flow::AcceptFn accept);
   [[nodiscard]] bool can_resolve(const naming::AppName& app) const;
+  /// Does this DIF offer a QoS cube matching `spec`? (Name-only
+  /// allocation skips DIFs that resolve the name but not the spec.)
+  [[nodiscard]] bool can_satisfy(const flow::QosSpec& spec) const;
 
+  /// Internal allocation plumbing (overlay adjacencies, Node's Flow
+  /// surface). Apps use Node::allocate_flow, which returns a Flow.
   void allocate(const naming::AppName& local, const naming::AppName& remote,
                 const flow::QosSpec& spec, flow::AllocateCallback cb);
+
+  /// Bind an app-visible handle to a live flow: wires write/deallocate
+  /// ops, the bounded rx queue and the writability signal into `shared`.
+  void attach_handle(flow::PortId port,
+                     std::shared_ptr<flow::detail::FlowShared> shared);
 
   Result<void> write(flow::PortId port, BytesView sdu);
   /// Zero-copy write for the recursive case: `sdu` is an upper DIF's
   /// frame riding this flow. Left intact on Err::backpressure (retry).
   Result<void> write_pkt(flow::PortId port, Packet& sdu);
   efcp::Connection* connection(flow::PortId port);
+
+  /// Initiate the release exchange: both ends retire port state, the
+  /// peer's on_closed fires. Idempotent while the close is in flight.
+  Result<void> deallocate(flow::PortId port);
 
   /// Redirect a flow's delivery/teardown to an internal consumer (the
   /// overlay port riding this flow).
@@ -137,10 +167,14 @@ class FlowAllocator {
     flow::QosCube cube;
     efcp::CepId local_cep = 0, remote_cep = 0;
     std::unique_ptr<efcp::Connection> conn;
-    naming::AppName app;  // registered app this flow delivers to (if any)
-    bool has_app = false;
+    std::shared_ptr<flow::detail::FlowShared> shared;  // app handle state
     std::function<void(Packet&&)> sink;  // overrides app delivery when set
-    std::function<void()> on_closed;
+    std::function<void()> on_closed;     // internal (overlay) teardown
+    // Release FSM (initiator side).
+    bool closing = false;
+    int release_attempts = 0;
+    std::uint64_t epoch = 0;  // guards timers across port-id recycling
+    bool rmt_poll_armed = false;
   };
 
   struct Pending {
@@ -154,23 +188,31 @@ class FlowAllocator {
   };
 
   FlowRec* by_port(flow::PortId p);
+  [[nodiscard]] const flow::QosCube* find_cube(const flow::QosSpec& spec) const;
   void try_pending(std::uint32_t invoke_id);
   void finish_pending(std::uint32_t invoke_id, Result<flow::FlowInfo> r);
   void create_connection(FlowRec& rec);
+  void deliver_sdu(FlowRec& rec, Packet&& sdu);
+  void notify_writable(flow::PortId port);
+  void arm_rmt_poll(FlowRec& rec);
   void on_flow_req(const efcp::Pci& pci, const rib::RiepMessage& m);
   void on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m);
-  void on_flow_teardown(const efcp::Pci& pci, const rib::RiepMessage& m);
-  void close_flow(FlowRec& rec, bool notify_peer);
+  void on_flow_release(const efcp::Pci& pci, const rib::RiepMessage& m);
+  void on_flow_release_ack(const efcp::Pci& pci, const rib::RiepMessage& m);
+  static rib::RiepMessage release_msg(const FlowRec& rec);
+  void send_release(flow::PortId port);
+  void finish_close(FlowRec& rec);
 
   Ipcp& self_;
   Stats stats_;
-  std::map<naming::AppName, flow::AppHandler> apps_;
+  std::map<naming::AppName, flow::AcceptFn> apps_;
   std::map<flow::PortId, std::unique_ptr<FlowRec>> flows_;
   std::map<efcp::CepId, flow::PortId> by_cep_;
   std::map<std::uint64_t, flow::PortId> remote_flow_index_;  // (peer, cep)
   std::map<std::uint32_t, Pending> pending_;
   std::uint32_t next_invoke_ = 1;
   efcp::CepId next_cep_ = 1;
+  std::uint64_t next_epoch_ = 1;
 };
 
 class Ipcp {

@@ -32,47 +32,110 @@ ipcp::Ipcp& Node::create_ipcp(const dif::DifConfig& cfg) {
   return *raw;
 }
 
+flow::PortId Node::allocate_port_id() {
+  if (!free_ports_.empty()) {
+    flow::PortId p = free_ports_.back();
+    free_ports_.pop_back();
+    return p;
+  }
+  return next_port_++;
+}
+
+void Node::release_port_id(flow::PortId port) { free_ports_.push_back(port); }
+
 Result<void> Node::register_app(const naming::AppName& app,
                                 const naming::DifName& dif,
-                                flow::AppHandler handler) {
+                                flow::AcceptFn accept) {
   auto* proc = ipcp(dif);
   if (proc == nullptr)
     return {Err::not_found, name_ + " is not a member of " + dif.str()};
-  return proc->fa().register_app(app, std::move(handler));
+  return proc->fa().register_app(app, std::move(accept));
 }
 
-void Node::allocate_flow_on(const naming::DifName& dif, const naming::AppName& local,
-                            const naming::AppName& remote,
-                            const flow::QosSpec& spec, flow::AllocateCallback cb) {
+namespace {
+
+/// Completion for both allocate paths: bind the allocator's record to the
+/// app's handle, or surface the failure through it. If the app cancelled
+/// (deallocated while allocating), release the freshly made flow instead
+/// of handing it to a handle that already said goodbye.
+flow::AllocateCallback adopt_into(std::shared_ptr<flow::detail::FlowShared> sh,
+                                  ipcp::Ipcp* proc) {
+  return [sh, proc](Result<flow::FlowInfo> r) {
+    if (!r.ok()) {
+      if (sh->state == flow::FlowState::allocating)
+        sh->finish_close(r.error());
+      return;
+    }
+    if (sh->state != flow::FlowState::allocating) {
+      (void)proc->fa().deallocate(r.value().port);
+      return;
+    }
+    proc->fa().attach_handle(r.value().port, sh);
+    sh->open_with(r.value());
+  };
+}
+
+}  // namespace
+
+flow::Flow Node::allocate_flow_on(const naming::DifName& dif,
+                                  const naming::AppName& local,
+                                  const naming::AppName& remote,
+                                  const flow::QosSpec& spec) {
+  auto sh = std::make_shared<flow::detail::FlowShared>();
+  sh->node_stats = stats_;
   auto* proc = ipcp(dif);
   if (proc == nullptr) {
-    cb({Err::not_found, name_ + " is not a member of " + dif.str()});
-    return;
+    sh->finish_close({Err::not_found, name_ + " is not a member of " + dif.str()});
+    return flow::Flow(sh);
   }
-  proc->fa().allocate(local, remote, spec, std::move(cb));
+  proc->fa().allocate(local, remote, spec, adopt_into(sh, proc));
+  return flow::Flow(sh);
 }
 
-void Node::allocate_flow(const naming::AppName& local, const naming::AppName& remote,
-                         const flow::QosSpec& spec, flow::AllocateCallback cb) {
-  // No DIF pinned: find one whose directory resolves the remote name.
-  // The directory entry may still be propagating, so poll with a deadline.
-  auto state = std::make_shared<flow::AllocateCallback>(std::move(cb));
+flow::Flow Node::allocate_flow(const naming::AppName& local,
+                               const naming::AppName& remote,
+                               const flow::QosSpec& spec) {
+  auto sh = std::make_shared<flow::detail::FlowShared>();
+  sh->node_stats = stats_;
+  // No DIF named: consult the directory of every DIF this node is
+  // enrolled in and take one that resolves the name AND offers the
+  // requested service class. Directory entries may still be propagating,
+  // so poll with a deadline.
   SimTime deadline = sched().now() + SimTime::from_sec(8);
   auto attempt = std::make_shared<std::function<void()>>();
   // The closure holds only a weak self-reference (a strong one would be a
   // shared_ptr cycle); each scheduled retry owns the strong reference.
   std::weak_ptr<std::function<void()>> weak_attempt = attempt;
-  *attempt = [this, local, remote, spec, state, deadline, weak_attempt] {
+  *attempt = [this, local, remote, spec, sh, deadline, weak_attempt] {
+    if (sh->state != flow::FlowState::allocating) return;  // app cancelled
+    bool resolved_somewhere = false;
+    bool any_satisfies = false;
     for (auto& [name, proc] : ipcps_) {
       if (!proc->enrolled()) continue;
-      if (proc->fa().can_resolve(remote)) {
-        proc->fa().allocate(local, remote, spec, std::move(*state));
-        return;
-      }
+      bool satisfies = proc->fa().can_satisfy(spec);
+      any_satisfies = any_satisfies || satisfies;
+      if (!proc->fa().can_resolve(remote)) continue;
+      resolved_somewhere = true;
+      if (!satisfies) continue;
+      proc->fa().allocate(local, remote, spec, adopt_into(sh, proc.get()));
+      return;
+    }
+    // Fail fast on a spec no enrolled DIF can ever serve: cube sets are
+    // fixed at DIF configuration, so once the name resolves somewhere,
+    // waiting cannot conjure the class. (Directory entries DO propagate,
+    // so an unresolved name — or a satisfying DIF that may still learn
+    // it — keeps polling until the deadline.)
+    if (resolved_somewhere && !any_satisfies) {
+      stats_->inc("alloc_no_such_cube");
+      sh->finish_close(
+          {Err::no_such_cube,
+           "no DIF on " + name_ + " offers a QoS cube matching the spec" +
+               (spec.cube_hint.empty() ? "" : " '" + spec.cube_hint + "'")});
+      return;
     }
     if (sched().now() >= deadline) {
-      (*state)({Err::not_found,
-                "no DIF on " + name_ + " resolves " + remote.to_string()});
+      sh->finish_close({Err::not_found, "no DIF on " + name_ + " resolves " +
+                                            remote.to_string()});
       return;
     }
     auto self = weak_attempt.lock();
@@ -80,12 +143,14 @@ void Node::allocate_flow(const naming::AppName& local, const naming::AppName& re
       sched().schedule_after(SimTime::from_ms(100), [self] { (*self)(); });
   };
   (*attempt)();
+  return flow::Flow(sh);
 }
 
 Result<void> Node::write(flow::PortId port, BytesView sdu) {
   for (auto& [name, proc] : ipcps_) {
     if (proc->fa().connection(port) != nullptr) return proc->fa().write(port, sdu);
   }
+  stats_->inc("app_write_bad_port");
   return {Err::flow_closed, "no flow with port-id " + std::to_string(port)};
 }
 
@@ -322,13 +387,14 @@ Result<void> Network::register_overlay_member(const naming::DifName& dif,
   }
   overlay_registered_.insert(key);
 
-  flow::AppHandler h;
+  // Overlay members are internal consumers: accept the incoming lower
+  // flow, then move it onto an internal sink (bind_overlay_port) — the
+  // app-visible rx queue never sees recursion traffic.
   std::string nn = node_name;
   naming::DifName d = dif, low = lower;
-  h.on_new_flow = [this, nn, d, low](flow::PortId p, const flow::FlowInfo&) {
-    (void)bind_overlay_port(nn, d, low, p);
-  };
-  return n.register_app(app, lower, std::move(h));
+  return n.register_app(app, lower, [this, nn, d, low](flow::Flow f) {
+    (void)bind_overlay_port(nn, d, low, f.port());
+  });
 }
 
 relay::PortIndex Network::bind_overlay_port(const std::string& node_name,
@@ -338,9 +404,15 @@ relay::PortIndex Network::bind_overlay_port(const std::string& node_name,
   Node& n = node(node_name);
   auto* upper = n.ipcp(dif);
   auto* lp = n.ipcp(lower);
+  // Port-ids are recycled after a flow retires, so the tx closure must
+  // not trust its captured number once the lower flow closes — a stale
+  // write would land in whatever new flow inherited the id. The sink's
+  // on_closed severs the binding before the id can be reused.
+  auto lower_open = std::make_shared<bool>(true);
   ipcp::Ipcp::PortInit init;
   init.is_wire = false;
-  init.tx = [lp, lower_port](Packet& frame) {
+  init.tx = [lp, lower_port, lower_open](Packet& frame) {
+    if (!*lower_open) return true;  // dropped: lower flow gone
     // The recursion's fast path: the upper DIF's frame enters the lower
     // DIF as a Packet, so the lower EFCP prepends its PCI into the same
     // buffer. Backpressure asks the RMT to hold the PDU (frame is left
@@ -353,7 +425,10 @@ relay::PortIndex Network::bind_overlay_port(const std::string& node_name,
   lp->fa().set_flow_sink(
       lower_port,
       [upper, idx](Packet&& sdu) { upper->on_port_frame(idx, std::move(sdu)); },
-      [upper, idx] { upper->set_port_carrier(idx, false); });
+      [upper, idx, lower_open] {
+        *lower_open = false;
+        upper->set_port_carrier(idx, false);
+      });
   return idx;
 }
 
@@ -394,11 +469,13 @@ Result<relay::PortIndex> Network::make_overlay_port(const naming::DifName& dif,
 
   // The lower flow is allocated asynchronously; until it is up, the port
   // exists but transmits into the void (enrollment retries cover this).
+  // The binding is also severed when the lower flow closes, so the
+  // captured port-id can be recycled without this port aliasing it.
   auto bound = std::make_shared<std::optional<flow::PortId>>();
   ipcp::Ipcp::PortInit init;
   init.is_wire = false;
   init.tx = [lp, bound](Packet& frame) {
-    if (!bound->has_value()) return true;  // dropped: not yet bound
+    if (!bound->has_value()) return true;  // dropped: not bound
     auto r = lp->fa().write_pkt(bound->value(), frame);
     return r.ok() || r.error().code != Err::backpressure;
   };
@@ -415,7 +492,10 @@ Result<relay::PortIndex> Network::make_overlay_port(const naming::DifName& dif,
                           [upper, idx](Packet&& sdu) {
                             upper->on_port_frame(idx, std::move(sdu));
                           },
-                          [upper, idx] { upper->set_port_carrier(idx, false); });
+                          [upper, idx, bound] {
+                            bound->reset();
+                            upper->set_port_carrier(idx, false);
+                          });
                     });
   return idx;
 }

@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/stats.hpp"
 #include "dif/config.hpp"
+#include "flow/flow.hpp"
 #include "flow/qos.hpp"
 #include "ipcp/ipcp.hpp"
 #include "naming/names.hpp"
@@ -62,6 +64,12 @@ struct DifSpec {
 class Network;
 
 /// One processing system: hosts IPC processes, one per DIF it belongs to.
+///
+/// The application edge is the paper's IPC API: register by name, then
+/// allocate_flow(remote name, QoS spec) — no DIF argument; the node
+/// consults the directories of every DIF it is enrolled in and picks one
+/// that reaches the name *and* offers the requested service class.
+/// allocate_flow_on pins the DIF (benches that measure one layer).
 class Node : public ipcp::IpcpHost {
  public:
   Node(Network& net, std::string name);
@@ -70,22 +78,42 @@ class Node : public ipcp::IpcpHost {
   [[nodiscard]] const std::string& node_name() const override { return name_; }
   sim::Scheduler& sched() override;
   naming::Address allocate_dif_address(const naming::DifName& dif) override;
-  flow::PortId allocate_port_id() override { return next_port_++; }
+  flow::PortId allocate_port_id() override;
+  void release_port_id(flow::PortId port) override;
+  std::shared_ptr<Stats> node_stats() override { return stats_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// Per-node app-edge counters (app_write_bad_port, alloc_no_such_cube).
+  Stats& stats() { return *stats_; }
 
   ipcp::Ipcp* ipcp(const naming::DifName& dif);
   /// Instantiate an IPC process for `cfg.name` on this node. It starts
   /// un-enrolled (the Network's DIF builders enroll founding members).
   ipcp::Ipcp& create_ipcp(const dif::DifConfig& cfg);
 
+  /// Register an application in `dif` under `app`; `accept` is handed a
+  /// Flow for every incoming allocation.
   Result<void> register_app(const naming::AppName& app, const naming::DifName& dif,
-                            flow::AppHandler handler);
-  void allocate_flow(const naming::AppName& local, const naming::AppName& remote,
-                     const flow::QosSpec& spec, flow::AllocateCallback cb);
-  void allocate_flow_on(const naming::DifName& dif, const naming::AppName& local,
-                        const naming::AppName& remote, const flow::QosSpec& spec,
-                        flow::AllocateCallback cb);
+                            flow::AcceptFn accept);
+
+  /// Allocate a flow to `remote` by name alone. Returns the handle
+  /// immediately in the `allocating` state; it transitions to open (or
+  /// closed with error() set — not_found if no enrolled DIF resolves the
+  /// name, no_such_cube if one does but none offers the requested class).
+  flow::Flow allocate_flow(const naming::AppName& local,
+                           const naming::AppName& remote,
+                           const flow::QosSpec& spec);
+  /// Escape hatch: pin the DIF instead of resolving by name.
+  flow::Flow allocate_flow_on(const naming::DifName& dif,
+                              const naming::AppName& local,
+                              const naming::AppName& remote,
+                              const flow::QosSpec& spec);
+
+  /// Port-id write (the Flow handle's write is the primary surface). An
+  /// unknown or closed port is a typed error plus a bumped per-node
+  /// counter — never a silent drop. Bare port-ids have POSIX-fd
+  /// semantics: retired ids are recycled, so a number cached past the
+  /// flow's close may name a different flow — hold a Flow instead.
   Result<void> write(flow::PortId port, BytesView sdu);
 
  private:
@@ -94,6 +122,8 @@ class Node : public ipcp::IpcpHost {
   std::string name_;
   std::map<std::string, std::unique_ptr<ipcp::Ipcp>> ipcps_;  // by DIF name
   flow::PortId next_port_ = 1;
+  std::vector<flow::PortId> free_ports_;  // retired ids, recycled LIFO
+  std::shared_ptr<Stats> stats_ = std::make_shared<Stats>();
 };
 
 class Network {

@@ -296,30 +296,42 @@ static void ecn_marks_past_threshold_and_sender_backs_off() {
   CHECK(net.build_link_dif(std::move(spec)).ok());
 
   std::uint64_t delivered = 0;
-  flow::AppHandler h;
-  h.on_data = [&delivered](flow::PortId, Bytes&&) { ++delivered; };
-  CHECK(net.node("b").register_app(naming::AppName("sink"), naming::DifName{"cc"},
-                                   std::move(h)).ok());
+  CHECK(net.node("b")
+            .register_app(naming::AppName("sink"), naming::DifName{"cc"},
+                          [&delivered](flow::Flow f) {
+                            f.on_readable([&delivered](flow::Flow& fl) {
+                              while (fl.read()) ++delivered;
+                            });
+                          })
+            .ok());
   net.run_for(SimTime::from_ms(60));
 
-  std::optional<Result<flow::FlowInfo>> got;
-  net.node("a").allocate_flow(naming::AppName("src"), naming::AppName("sink"),
-                              flow::QosSpec::reliable_default(),
-                              [&](Result<flow::FlowInfo> r) { got = std::move(r); });
-  net.run_until([&] { return got.has_value(); }, SimTime::from_sec(5));
-  CHECK(got && got->ok());
-  flow::PortId port = got->value().port;
+  flow::Flow f = net.node("a").allocate_flow(naming::AppName("src"),
+                                             naming::AppName("sink"),
+                                             flow::QosSpec::reliable_default());
+  net.run_until([&] { return !f.is_allocating(); }, SimTime::from_sec(5));
+  CHECK(f.is_open());
+  flow::PortId port = f.port();
 
   // Blast well past the link rate so the RMT class queue crosses the
-  // marking threshold.
+  // marking threshold. Saturation surfaces as typed would_block on the
+  // handle — app-visible backpressure, not silent queueing.
   Bytes payload(1000, 0xAB);
-  std::uint64_t accepted = 0;
+  std::uint64_t accepted = 0, blocked = 0;
   for (int burst = 0; burst < 40; ++burst) {
-    for (int i = 0; i < 16; ++i)
-      if (net.node("a").write(port, BytesView{payload}).ok()) ++accepted;
+    for (int i = 0; i < 16; ++i) {
+      auto w = f.write(BytesView{payload});
+      if (w.ok()) {
+        ++accepted;
+      } else {
+        CHECK(w.error().code == Err::would_block);
+        ++blocked;
+      }
+    }
     net.run_for(SimTime::from_ms(2));
   }
   net.run_for(SimTime::from_sec(5));
+  CHECK(blocked > 0);
 
   naming::DifName cc{"cc"};
   CHECK(net.sum_dif_counter(cc, "ecn_marked") > 0);    // RMT set the bit

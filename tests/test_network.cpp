@@ -3,6 +3,8 @@
 // system; reject an enrollment with bad credentials; overlay DIFs.
 #include "node/network.hpp"
 
+#include <functional>
+#include <memory>
 #include <optional>
 
 #include "test_util.hpp"
@@ -19,16 +21,32 @@ node::DifSpec spec(const std::string& name, std::vector<std::string> members) {
   return s;
 }
 
-flow::FlowInfo open_flow(Network& net, const std::string& from,
-                         const std::string& lapp, const std::string& rapp) {
-  std::optional<Result<flow::FlowInfo>> got;
-  net.node(from).allocate_flow(naming::AppName(lapp), naming::AppName(rapp),
-                               flow::QosSpec::reliable_default(),
-                               [&](Result<flow::FlowInfo> r) { got = std::move(r); });
-  bool done = net.run_until([&] { return got.has_value(); }, SimTime::from_sec(10));
+flow::Flow open_flow(Network& net, const std::string& from,
+                     const std::string& lapp, const std::string& rapp) {
+  flow::Flow f = net.node(from).allocate_flow(naming::AppName(lapp),
+                                              naming::AppName(rapp),
+                                              flow::QosSpec::reliable_default());
+  bool done = net.run_until([&] { return !f.is_allocating(); }, SimTime::from_sec(10));
   CHECK(done);
-  CHECK(got->ok());
-  return got->value();
+  CHECK(f.is_open());
+  return f;
+}
+
+/// Register a counting sink app: every accepted flow drains its rx queue
+/// through `on_sdu` as data becomes readable.
+void register_sink(Network& net, const std::string& on_node,
+                   const std::string& app, const std::string& dif,
+                   std::function<void(Bytes&&)> on_sdu) {
+  auto fn = std::make_shared<std::function<void(Bytes&&)>>(std::move(on_sdu));
+  CHECK(net.node(on_node)
+            .register_app(naming::AppName(app), naming::DifName{dif},
+                          [fn](flow::Flow f) {
+                            f.on_readable([fn](flow::Flow& fl) {
+                              while (auto sdu = fl.read()) (*fn)(std::move(*sdu));
+                            });
+                          })
+            .ok());
+  net.run_for(SimTime::from_ms(100));
 }
 
 }  // namespace
@@ -40,27 +58,25 @@ static void two_hosts_flow() {
 
   int got = 0;
   std::string last;
-  flow::AppHandler h;
-  h.on_data = [&](flow::PortId, Bytes&& sdu) {
+  register_sink(net, "b", "srv", "d", [&](Bytes&& sdu) {
     ++got;
     last = to_string(BytesView{sdu});
-  };
-  CHECK(net.node("b").register_app(naming::AppName("srv"), naming::DifName{"d"},
-                                   std::move(h)).ok());
-  net.run_for(SimTime::from_ms(100));
+  });
 
-  auto info = open_flow(net, "a", "cli", "srv");
-  CHECK(info.port != 0);
-  CHECK(info.cube.reliable);
-  CHECK(info.cube.name == "reliable");
+  auto f = open_flow(net, "a", "cli", "srv");
+  CHECK(f.port() != 0);
+  CHECK(f.info().cube.reliable);
+  CHECK(f.info().cube.name == "reliable");
+  CHECK(f.info().dif.str() == "d");
 
-  CHECK(net.node("a").write(info.port, BytesView{to_bytes("hello ipc")}).ok());
+  // Both write surfaces work: the Flow handle and the port-id edge.
+  CHECK(f.write(BytesView{to_bytes("hello ipc")}).ok());
   net.run_for(SimTime::from_ms(100));
   CHECK(got == 1);
   CHECK(last == "hello ipc");
 
   // The EFCP connection is observable via the FA.
-  auto* conn = net.node("a").ipcp(naming::DifName{"d"})->fa().connection(info.port);
+  auto* conn = net.node("a").ipcp(naming::DifName{"d"})->fa().connection(f.port());
   CHECK(conn != nullptr);
   CHECK(conn->stats().get("pdus_tx") == 1);
 }
@@ -71,14 +87,10 @@ static void relayed_flow() {
   net.add_link("r", "b");
   CHECK(net.build_link_dif(spec("d", {"a", "r", "b"})).ok());
   int got = 0;
-  flow::AppHandler h;
-  h.on_data = [&](flow::PortId, Bytes&&) { ++got; };
-  CHECK(net.node("b").register_app(naming::AppName("srv"), naming::DifName{"d"},
-                                   std::move(h)).ok());
-  net.run_for(SimTime::from_ms(100));
-  auto info = open_flow(net, "a", "cli", "srv");
+  register_sink(net, "b", "srv", "d", [&](Bytes&&) { ++got; });
+  auto f = open_flow(net, "a", "cli", "srv");
   for (int i = 0; i < 10; ++i)
-    CHECK(net.node("a").write(info.port, BytesView{to_bytes("x")}).ok());
+    CHECK(net.node("a").write(f.port(), BytesView{to_bytes("x")}).ok());
   net.run_for(SimTime::from_ms(200));
   CHECK(got == 10);
   // The relay actually relayed (data + acks both ways).
@@ -130,14 +142,11 @@ static void overlay_dif_carries_data() {
                                {"r", "b", naming::DifName{"hopB"}, {}}})
             .ok());
   int got = 0;
-  flow::AppHandler h;
-  h.on_data = [&](flow::PortId, Bytes&&) { ++got; };
-  CHECK(net.node("b").register_app(naming::AppName("srv"), naming::DifName{"e2e"},
-                                   std::move(h)).ok());
-  net.run_for(SimTime::from_ms(200));
-  auto info = open_flow(net, "a", "cli", "srv");
+  register_sink(net, "b", "srv", "e2e", [&](Bytes&&) { ++got; });
+  net.run_for(SimTime::from_ms(100));
+  auto f = open_flow(net, "a", "cli", "srv");
   for (int i = 0; i < 5; ++i)
-    CHECK(net.node("a").write(info.port, BytesView{to_bytes("y")}).ok());
+    CHECK(f.write(BytesView{to_bytes("y")}).ok());
   net.run_for(SimTime::from_ms(300));
   CHECK(got == 5);
   // Application names never entered the hop DIFs' directories.
@@ -153,19 +162,15 @@ static void link_failure_reroutes() {
   net.add_link("r2", "b");
   CHECK(net.build_link_dif(spec("d", {"a", "r1", "r2", "b"})).ok());
   int got = 0;
-  flow::AppHandler h;
-  h.on_data = [&](flow::PortId, Bytes&&) { ++got; };
-  CHECK(net.node("b").register_app(naming::AppName("srv"), naming::DifName{"d"},
-                                   std::move(h)).ok());
-  net.run_for(SimTime::from_ms(100));
-  auto info = open_flow(net, "a", "cli", "srv");
-  CHECK(net.node("a").write(info.port, BytesView{to_bytes("1")}).ok());
+  register_sink(net, "b", "srv", "d", [&](Bytes&&) { ++got; });
+  auto f = open_flow(net, "a", "cli", "srv");
+  CHECK(f.write(BytesView{to_bytes("1")}).ok());
   net.run_for(SimTime::from_ms(100));
   CHECK(got == 1);
   // Kill one path; the reliable flow must still deliver.
   CHECK(net.set_link_state("a", "r1", false).ok());
   net.run_for(SimTime::from_ms(100));
-  CHECK(net.node("a").write(info.port, BytesView{to_bytes("2")}).ok());
+  CHECK(f.write(BytesView{to_bytes("2")}).ok());
   net.run_for(SimTime::from_sec(1));
   CHECK(got == 2);
 }
