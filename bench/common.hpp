@@ -7,10 +7,13 @@
 // and one-way delay without any side channel.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -33,6 +36,44 @@ inline double duration_scale() {
   }();
   return s;
 }
+
+/// Deterministic seeded Zipf(α) rank sampler over [0, n):
+/// P(rank r) ∝ 1/(r+1)^α. Inverse-CDF over a precomputed table, driven
+/// by a splitmix64 counter stream — deliberately *not* a std::random
+/// distribution, whose output is implementation-defined; two runs with
+/// the same seed must draw the same sequence on every platform, or
+/// bench tables stop being reproducible.
+class ZipfGen {
+ public:
+  ZipfGen(std::size_t n, double alpha, std::uint64_t seed) : state_(seed) {
+    cdf_.reserve(n);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+      cdf_.push_back(sum);
+    }
+    for (double& v : cdf_) v /= sum;
+  }
+
+  /// Next rank: 0 is the hottest object.
+  std::uint64_t next() {
+    std::uint64_t x = state_ += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    // 53 uniform mantissa bits in [0, 1).
+    double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) --it;
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+  }
+
+  [[nodiscard]] std::size_t universe() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::uint64_t state_;
+};
 
 inline node::DifSpec mk_dif(const std::string& name,
                             std::vector<std::string> members) {

@@ -6,6 +6,8 @@
 
 #include "baseline/middlebox.hpp"
 
+#include "content/protocol.hpp"
+
 namespace rina::baseline {
 
 namespace {
@@ -184,6 +186,117 @@ void MobileClient::attempt() {
     if (!a || !*a) return;
     if (epoch == epoch_ && !acked_) attempt();
   });
+}
+
+// ============================= CdnCache =============================
+
+CdnCache::CdnCache(BNode& node, sim::Scheduler& sched,
+                   TransportStack& transport, Config cfg)
+    : node_(node),
+      sched_(sched),
+      ts_(transport),
+      cfg_(cfg),
+      store_(cfg.capacity_objects, cfg.ttl) {
+  (void)ts_.listen(cfg_.listen_port, [this](SockId client) {
+    ts_.set_on_data(client, [this](SockId s, Bytes&& msg) {
+      on_client_interest(s, BytesView{msg});
+    });
+  });
+}
+
+void CdnCache::on_client_interest(SockId client, BytesView raw) {
+  auto decoded = content::decode(raw);
+  if (!decoded.ok() || decoded.value().type != content::MsgType::interest) {
+    stats_.inc("decode_errors");
+    return;
+  }
+  const content::Message& msg = decoded.value();
+  content::ObjectKey key{msg.name, msg.object_id};
+  if (const Bytes* obj = store_.lookup(key, sched_.now())) {
+    stats_.inc("cache_hits");
+    Bytes reply = content::encode_data(msg.request_id, msg.name,
+                                       msg.object_id, BytesView{*obj});
+    if (!ts_.send(client, BytesView{reply}).ok())
+      stats_.inc("replies_refused");
+    return;
+  }
+  stats_.inc("cache_misses");
+  forward_upstream(client, msg.request_id, msg.name, msg.object_id);
+}
+
+void CdnCache::forward_upstream(SockId client, std::uint64_t client_req,
+                                const std::string& name,
+                                std::uint64_t object_id) {
+  // The proxy terminates the client connection: upstream requests get
+  // fresh ids so replies can be routed back to the right client even
+  // when several clients pick the same request id.
+  std::uint64_t up = next_upstream_++;
+  upstream_[up] = Upstream{client, client_req};
+  Bytes interest = content::encode_interest(up, name, object_id);
+  if (origin_sock_) {
+    if (!ts_.send(*origin_sock_, BytesView{interest}).ok())
+      stats_.inc("upstream_refused");
+    return;
+  }
+  origin_backlog_.push_back(std::move(interest));
+  ensure_origin();
+}
+
+void CdnCache::ensure_origin() {
+  if (origin_connecting_ || origin_sock_) return;
+  origin_connecting_ = true;
+  ts_.connect(cfg_.origin, cfg_.origin_port, {}, [this](Result<SockId> r) {
+    origin_connecting_ = false;
+    if (!r.ok()) {
+      stats_.inc("origin_connect_failed");
+      // In-flight misses die with the attempt; the clients' interest
+      // retries will come back around and reconnect.
+      origin_backlog_.clear();
+      upstream_.clear();
+      return;
+    }
+    origin_sock_ = r.value();
+    ts_.set_on_data(*origin_sock_, [this](SockId, Bytes&& msg) {
+      on_origin_reply(BytesView{msg});
+    });
+    ts_.set_on_closed(*origin_sock_, [this](SockId, const Error&) {
+      origin_sock_.reset();
+      upstream_.clear();
+    });
+    while (!origin_backlog_.empty()) {
+      if (!ts_.send(*origin_sock_, BytesView{origin_backlog_.front()}).ok())
+        stats_.inc("upstream_refused");
+      origin_backlog_.pop_front();
+    }
+  });
+}
+
+void CdnCache::on_origin_reply(BytesView raw) {
+  auto decoded = content::decode(raw);
+  if (!decoded.ok()) {
+    stats_.inc("decode_errors");
+    return;
+  }
+  const content::Message& msg = decoded.value();
+  auto it = upstream_.find(msg.request_id);
+  if (it == upstream_.end()) {
+    stats_.inc("late_replies");
+    return;
+  }
+  Upstream req = it->second;
+  upstream_.erase(it);
+  Bytes reply;
+  if (msg.type == content::MsgType::data) {
+    stats_.inc("origin_responses");
+    store_.insert(content::ObjectKey{msg.name, msg.object_id}, msg.object,
+                  sched_.now());
+    reply = content::encode_data(req.client_req, msg.name, msg.object_id,
+                                 msg.object);
+  } else {
+    reply = content::encode_nack(req.client_req, msg.name, msg.object_id);
+  }
+  if (!ts_.send(req.client, BytesView{reply}).ok())
+    stats_.inc("replies_refused");
 }
 
 }  // namespace rina::baseline

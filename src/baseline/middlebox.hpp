@@ -1,16 +1,21 @@
 // middlebox.hpp — the boxes the current Internet bolts on to recover
-// what the architecture lost: NAT (private networks by translation) and
-// Mobile-IP agents (mobility by triangle routing through a home agent).
-// Both exist in the benches to be measured against DIFs that get the
-// same properties architecturally.
+// what the architecture lost: NAT (private networks by translation),
+// Mobile-IP agents (mobility by triangle routing through a home agent),
+// and a CDN caching proxy (in-network storage by interposing on the
+// application protocol). All exist in the benches to be measured against
+// DIFs that get the same properties architecturally.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "baseline/net.hpp"
+#include "content/store.hpp"
 
 namespace rina::baseline {
 
@@ -58,6 +63,55 @@ class ForeignAgent {
  private:
   BNode& node_;
   std::map<IpAddr, int> bindings_;  // home addr -> iface toward the mobile
+  Stats stats_;
+};
+
+/// CDN caching proxy: the baseline's way to get in-network storage.
+/// Clients must be *pointed at the box* (they connect to it instead of
+/// the origin — explicit infrastructure, visible in every URL/config),
+/// it terminates their TCP connections, serves hits from a local
+/// content::ContentStore, and forwards misses to the origin over one
+/// persistent upstream connection. Compare the RMT content-store
+/// policy, where clients talk to the origin by name and caching is a
+/// property of the DIF.
+class CdnCache {
+ public:
+  struct Config {
+    std::uint16_t listen_port = 8080;
+    IpAddr origin = 0;
+    std::uint16_t origin_port = 80;
+    std::size_t capacity_objects = 1024;
+    SimTime ttl{};  // 0 = no expiry
+  };
+
+  CdnCache(BNode& node, sim::Scheduler& sched, TransportStack& transport,
+           Config cfg);
+
+  Stats& stats() { return stats_; }
+  content::ContentStore& store() { return store_; }
+
+ private:
+  void on_client_interest(SockId client, BytesView msg);
+  void forward_upstream(SockId client, std::uint64_t client_req,
+                        const std::string& name, std::uint64_t object_id);
+  void ensure_origin();
+  void on_origin_reply(BytesView msg);
+
+  BNode& node_;
+  sim::Scheduler& sched_;
+  TransportStack& ts_;
+  Config cfg_;
+  content::ContentStore store_;
+  // In-flight misses: upstream request id -> who asked and as what.
+  struct Upstream {
+    SockId client = 0;
+    std::uint64_t client_req = 0;
+  };
+  std::map<std::uint64_t, Upstream> upstream_;
+  std::uint64_t next_upstream_ = 1;
+  std::optional<SockId> origin_sock_;
+  bool origin_connecting_ = false;
+  std::deque<Bytes> origin_backlog_;  // misses queued behind the connect
   Stats stats_;
 };
 

@@ -236,6 +236,15 @@ class BaselineNet {
 
   Result<void> set_link_state(const std::string& a, const std::string& b, bool up);
 
+  /// The first link between two nodes (for its byte counters), or
+  /// nullptr — the benches' symmetric counterpart of Network's accessor.
+  sim::Link* link_between(const std::string& a, const std::string& b) {
+    for (auto& l : links_)
+      if ((l->a == a && l->b == b) || (l->a == b && l->b == a))
+        return l->link.get();
+    return nullptr;
+  }
+
   /// Turn on global routing: flood LSAs (counted as routing_msgs_sent on
   /// each flooding node) and install shortest-path FIBs, per domain.
   /// Hosts flood too when `all_nodes`; otherwise only multi-link routers.

@@ -1,0 +1,322 @@
+// protocol.hpp — a small request/response content protocol on top of
+// flow::Flow: the application-level workload the content store caches.
+//
+// An *interest* names what is wanted — (destination app name, object
+// id) — and a *data* message carries the object back; *nack* says the
+// origin does not have it. This is deliberately the ICN access pattern
+// ("IP Over ICN", "Internames"), but here it is just an application on
+// the IPC API: no new network protocol, no new addressing. The in-DIF
+// caching that ICN architectures rebuild the whole stack for falls out
+// of an RMT policy recognizing these messages in relay (see
+// Ipcp::content_store_filter).
+//
+// Wire format (big-endian, via BufWriter):
+//   u32 magic "CNT1"   u8 type (1=interest 2=data 3=nack)
+//   u64 request_id     lpstring name   u64 object_id
+//   [data only] lpbytes object
+//
+// Content flows must be *unreliable* class: a relay answering from its
+// cache injects a data PDU with the interest's sequence number, which an
+// unreliable receiver delivers as-is but a reliable one would treat as a
+// duplicate or reordering. Loss recovery is the client's interest
+// retry (interest_timeout / max_retries), as in any request/response
+// protocol over datagrams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "flow/flow.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rina::content {
+
+inline constexpr std::uint32_t kMagic = 0x434E5431;  // "CNT1"
+
+enum class MsgType : std::uint8_t { interest = 1, data = 2, nack = 3 };
+
+struct Message {
+  MsgType type = MsgType::interest;
+  std::uint64_t request_id = 0;
+  std::string name;
+  std::uint64_t object_id = 0;
+  BytesView object;  // data only; a view into the decoded buffer
+};
+
+/// Cheap peek: does this payload even claim to be a content message?
+/// Lets the RMT hook skip non-content traffic without a full decode.
+inline bool looks_like_content(BytesView payload) {
+  if (payload.size() < 5) return false;
+  BufReader r(payload);
+  if (r.get_u32() != kMagic) return false;
+  std::uint8_t t = r.get_u8();
+  return t >= 1 && t <= 3;
+}
+
+inline Bytes encode_interest(std::uint64_t request_id, const std::string& name,
+                             std::uint64_t object_id) {
+  BufWriter w(32 + name.size());
+  w.put_u32(kMagic);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::interest));
+  w.put_u64(request_id);
+  w.put_lpstring(name);
+  w.put_u64(object_id);
+  return std::move(w).take();
+}
+
+inline Bytes encode_data(std::uint64_t request_id, const std::string& name,
+                         std::uint64_t object_id, BytesView object) {
+  BufWriter w(40 + name.size() + object.size());
+  w.put_u32(kMagic);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::data));
+  w.put_u64(request_id);
+  w.put_lpstring(name);
+  w.put_u64(object_id);
+  w.put_lpbytes(object);
+  return std::move(w).take();
+}
+
+inline Bytes encode_nack(std::uint64_t request_id, const std::string& name,
+                         std::uint64_t object_id) {
+  BufWriter w(32 + name.size());
+  w.put_u32(kMagic);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::nack));
+  w.put_u64(request_id);
+  w.put_lpstring(name);
+  w.put_u64(object_id);
+  return std::move(w).take();
+}
+
+/// Decode a content message. The returned Message's `object` views into
+/// `payload`; it is valid only while that buffer lives.
+inline Result<Message> decode(BytesView payload) {
+  BufReader r(payload);
+  Message m;
+  if (r.get_u32() != kMagic) return {Err::decode, "not a content message"};
+  std::uint8_t t = r.get_u8();
+  if (t < 1 || t > 3) return {Err::decode, "bad content message type"};
+  m.type = static_cast<MsgType>(t);
+  m.request_id = r.get_u64();
+  m.name = r.get_lpstring();
+  m.object_id = r.get_u64();
+  if (m.type == MsgType::data) {
+    std::uint32_t n = r.get_u32();
+    if (!r.ok() || n != r.remaining())
+      return {Err::decode, "content object length mismatch"};
+    m.object = BytesView(payload.data() + (payload.size() - n), n);
+  } else if (r.remaining() != 0) {
+    return {Err::decode, "trailing bytes in content message"};
+  }
+  if (!r.ok()) return {Err::decode, "short content message"};
+  return m;
+}
+
+/// The requesting side: issues interests on one flow and matches replies
+/// by request id. Every fetch terminates exactly once, with the object
+/// or a typed error:
+///   Err::timeout     — max_retries resends went unanswered;
+///   Err::not_found   — the origin nacked;
+///   Err::flow_closed — the flow died mid-exchange (teardown is a typed
+///                      completion, never a silent hang).
+class ContentClient {
+ public:
+  struct Options {
+    /// Unanswered-interest resend gap; each resend bumps
+    /// interest_retries, exhaustion bumps interest_timeouts.
+    SimTime interest_timeout = SimTime::from_ms(250);
+    int max_retries = 3;  // resends after the first send
+  };
+
+  using FetchCb = std::function<void(Result<Bytes>)>;
+
+  // (Two ctors, not a defaulted Options argument: a nested class with
+  // default member initializers is unusable as a default argument inside
+  // its still-incomplete enclosing class.)
+  ContentClient(sim::Scheduler& sched, flow::Flow f, std::string name)
+      : ContentClient(sched, std::move(f), std::move(name), Options()) {}
+
+  ContentClient(sim::Scheduler& sched, flow::Flow f, std::string name,
+                Options opt)
+      : sched_(sched),
+        flow_(std::move(f)),
+        name_(std::move(name)),
+        opt_(opt),
+        alive_(std::make_shared<bool>(true)) {
+    flow_.on_readable([this](flow::Flow& fl) {
+      while (auto sdu = fl.read()) on_sdu(BytesView{*sdu});
+    });
+    // Teardown during an in-flight exchange surfaces as a typed error on
+    // every pending fetch — the flow's one on_closed edge fans out.
+    flow_.on_closed([this](flow::Flow&) {
+      stats_.inc("fetch_failed_flow_closed", pending_.size());
+      fail_all({Err::flow_closed, "flow closed with fetches in flight"});
+    });
+  }
+
+  ~ContentClient() { *alive_ = false; }
+  ContentClient(const ContentClient&) = delete;
+  ContentClient& operator=(const ContentClient&) = delete;
+
+  /// Request one object. `cb` fires exactly once.
+  void fetch(std::uint64_t object_id, FetchCb cb) {
+    std::uint64_t id = next_req_++;
+    stats_.inc("fetches_started");
+    if (flow_.state() == flow::FlowState::closing ||
+        flow_.state() == flow::FlowState::closed) {
+      stats_.inc("fetch_failed_flow_closed");
+      cb(Result<Bytes>{Err::flow_closed, "flow closed before fetch"});
+      return;
+    }
+    Pending& p = pending_[id];
+    p.object_id = object_id;
+    p.cb = std::move(cb);
+    send_interest(id);
+    arm_timer(id);
+  }
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  Stats& stats() { return stats_; }
+  flow::Flow& flow() { return flow_; }
+
+ private:
+  struct Pending {
+    std::uint64_t object_id = 0;
+    FetchCb cb;
+    int sends = 1;  // the initial interest counts as the first send
+  };
+
+  void send_interest(std::uint64_t id) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    // A refused write (would_block) is recovered by the retry timer; a
+    // closed flow is the on_closed path's job.
+    (void)flow_.write(
+        BytesView{encode_interest(id, name_, it->second.object_id)});
+  }
+
+  void arm_timer(std::uint64_t id) {
+    std::weak_ptr<bool> alive = alive_;
+    sched_.schedule_after(opt_.interest_timeout, [this, id, alive] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;  // answered meanwhile
+      if (it->second.sends > opt_.max_retries) {
+        stats_.inc("interest_timeouts");
+        complete(id, Result<Bytes>{Err::timeout, "interest retries exhausted"});
+        return;
+      }
+      ++it->second.sends;
+      stats_.inc("interest_retries");
+      send_interest(id);
+      arm_timer(id);
+    });
+  }
+
+  void on_sdu(BytesView sdu) {
+    auto m = decode(sdu);
+    if (!m.ok()) {
+      stats_.inc("decode_errors");
+      return;
+    }
+    const Message& msg = m.value();
+    auto it = pending_.find(msg.request_id);
+    if (it == pending_.end()) {
+      // A retry's original answer arriving after the resend's did, or
+      // after the timeout fired — late, not wrong.
+      stats_.inc("late_replies");
+      return;
+    }
+    if (msg.type == MsgType::data) {
+      stats_.inc("fetches_ok");
+      stats_.inc("bytes_fetched", msg.object.size());
+      complete(msg.request_id, Result<Bytes>{msg.object.to_bytes()});
+    } else if (msg.type == MsgType::nack) {
+      stats_.inc("fetches_nacked");
+      complete(msg.request_id, Result<Bytes>{Err::not_found, "origin nacked"});
+    }
+  }
+
+  /// Erase-then-invoke: the callback may start another fetch.
+  void complete(std::uint64_t id, Result<Bytes> r) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    FetchCb cb = std::move(it->second.cb);
+    pending_.erase(it);
+    cb(std::move(r));
+  }
+
+  void fail_all(Error e) {
+    while (!pending_.empty())
+      complete(pending_.begin()->first, Result<Bytes>{e.code, e.msg});
+  }
+
+  sim::Scheduler& sched_;
+  flow::Flow flow_;
+  std::string name_;
+  Options opt_;
+  std::uint64_t next_req_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  Stats stats_;
+  std::shared_ptr<bool> alive_;
+};
+
+/// The origin side: serves objects from a provider function over every
+/// accepted flow. Registration is the caller's job (it owns the Node):
+///   node.register_app(app, dif, server.accept_fn());
+class ContentServer {
+ public:
+  /// nullopt = no such object (the client gets a nack).
+  using Provider =
+      std::function<std::optional<Bytes>(const std::string& name,
+                                         std::uint64_t object_id)>;
+
+  explicit ContentServer(Provider provider) : provider_(std::move(provider)) {}
+
+  flow::AcceptFn accept_fn() {
+    return [this](flow::Flow f) {
+      f.on_readable([this](flow::Flow& fl) {
+        while (auto sdu = fl.read()) serve(fl, BytesView{*sdu});
+      });
+    };
+  }
+
+  Stats& stats() { return stats_; }
+
+ private:
+  void serve(flow::Flow& fl, BytesView sdu) {
+    auto m = decode(sdu);
+    if (!m.ok() || m.value().type != MsgType::interest) {
+      stats_.inc("decode_errors");
+      return;
+    }
+    const Message& msg = m.value();
+    std::optional<Bytes> obj = provider_(msg.name, msg.object_id);
+    Bytes reply =
+        obj ? encode_data(msg.request_id, msg.name, msg.object_id,
+                          BytesView{*obj})
+            : encode_nack(msg.request_id, msg.name, msg.object_id);
+    if (obj) {
+      stats_.inc("requests_served");
+      stats_.inc("origin_bytes_sent", obj->size());
+    } else {
+      stats_.inc("requests_nacked");
+    }
+    // would_block here means the reply is lost; the client's interest
+    // retry asks again — same contract as any datagram responder.
+    if (!fl.write(BytesView{reply}).ok()) stats_.inc("replies_refused");
+  }
+
+  Provider provider_;
+  Stats stats_;
+};
+
+}  // namespace rina::content

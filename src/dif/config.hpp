@@ -39,6 +39,17 @@ struct DifConfig {
   std::size_t rmt_queue_pdus = 512;
   std::size_t rmt_ecn_threshold = 0;
 
+  /// RMT content-store policy: when enabled, a member relaying content
+  /// PDUs (src/content/protocol.hpp) through this DIF keeps an ARC cache
+  /// of the objects it sees. Interests that hit are answered from the
+  /// relay — the PDU never continues toward the origin — and data PDUs
+  /// passing through are inserted opportunistically. Pure per-DIF
+  /// policy: nothing above or below this DIF can tell, which is the
+  /// paper's point about specializing a DIF for a job (here: CDN).
+  bool rmt_content_store_enabled = false;
+  std::size_t rmt_content_store_objects = 1024;  // live-entry capacity
+  SimTime rmt_content_store_ttl{};               // 0 = no expiry
+
   /// Per-flow application receive queue depth (SDUs). The flow allocator
   /// delivers into this bounded queue and the app pulls with Flow::read;
   /// overflow is dropped and counted (app_rx_dropped) — the reader, not

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "content/protocol.hpp"
+
 namespace rina::ipcp {
 
 namespace {
@@ -108,11 +110,15 @@ Ipcp::Ipcp(IpcpHost& host, const dif::DifConfig& cfg, std::uint32_t dif_id)
       enrollment_(*this),
       alive_token_(std::make_shared<bool>(true)) {
   if (cfg_.cubes.empty()) cfg_.cubes = dif::default_cubes();
+  if (cfg_.rmt_content_store_enabled && cfg_.rmt_content_store_objects > 0)
+    cstore_ = std::make_unique<content::ContentStore>(
+        cfg_.rmt_content_store_objects, cfg_.rmt_content_store_ttl);
 }
 
 std::uint64_t Ipcp::counter_sum(const std::string& name) const {
   std::uint64_t n = stats_.get(name) + rmt_.stats_.get(name) +
                     fa_.stats_.get(name) + enrollment_.stats_.get(name);
+  if (cstore_) n += cstore_->stats().get(name);
   for (const auto& [port, rec] : fa_.flows_)
     if (rec->conn) n += rec->conn->stats().get(name);
   return n;
@@ -229,6 +235,11 @@ void Ipcp::on_port_frame(relay::PortIndex idx, Packet&& frame) {
     return;
   }
   --pdu.pci.ttl;
+  // Per-DIF content-store policy: an interest that hits the local store
+  // is answered from here and never continues toward the origin.
+  if (cstore_ && pdu.pci.type == efcp::PduType::data &&
+      content_store_filter(pdu))
+    return;
   auto out = rmt_.fib_.lookup(pdu.pci.dest,
                               [this](relay::PortIndex i) { return port_up(i); });
   if (!out) {
@@ -270,6 +281,49 @@ void Ipcp::deliver_local(efcp::Pdu&& pdu) {
     return;
   }
   rec->conn->on_pdu(pdu.pci, std::move(pdu.payload));
+}
+
+bool Ipcp::content_store_filter(efcp::Pdu& pdu) {
+  // Non-content traffic must fall through untouched — the magic peek
+  // keeps the common relay path at a 5-byte compare.
+  if (!content::looks_like_content(pdu.payload.view())) return false;
+  auto decoded = content::decode(pdu.payload.view());
+  if (!decoded.ok()) return false;
+  const content::Message& msg = decoded.value();
+  content::ObjectKey key{msg.name, msg.object_id};
+
+  if (msg.type == content::MsgType::interest) {
+    const Bytes* obj = cstore_->lookup(key, sched().now());
+    if (obj == nullptr) return false;  // miss: continue toward the origin
+    // Answer from here wearing the origin's endpoint identity — the
+    // interest's (src, dest) and CEP pair swapped, its sequence number
+    // echoed. On the unreliable class content flows use, the client
+    // cannot tell this reply from the origin's; the cache stays
+    // invisible above the DIF. TTL restarts: the reply is a fresh PDU
+    // originated by this IPCP.
+    Bytes reply_bytes =
+        content::encode_data(msg.request_id, msg.name, msg.object_id,
+                             BytesView{*obj});
+    efcp::Pdu reply;
+    reply.pci.type = efcp::PduType::data;
+    reply.pci.qos_id = pdu.pci.qos_id;
+    reply.pci.dest = pdu.pci.src;
+    reply.pci.src = pdu.pci.dest;
+    reply.pci.dest_cep = pdu.pci.src_cep;
+    reply.pci.src_cep = pdu.pci.dest_cep;
+    reply.pci.seq = pdu.pci.seq;
+    reply.payload = Packet::with_headroom(kDefaultHeadroom, BytesView{reply_bytes});
+    rmt_.stats_.inc("cs_replies");
+    rmt_.send(std::move(reply));
+    return true;  // the interest stops here
+  }
+  // A data PDU passing through is an eviction-policy-priced chance to
+  // serve the next interest locally; it still continues to its
+  // requester. Nacks are not cached (negative caching is a policy this
+  // DIF does not run).
+  if (msg.type == content::MsgType::data)
+    cstore_->insert(key, msg.object, sched().now());
+  return false;
 }
 
 // ---------------------- management dispatch ----------------------

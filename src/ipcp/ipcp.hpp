@@ -28,6 +28,7 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
+#include "content/store.hpp"
 #include "dif/config.hpp"
 #include "efcp/connection.hpp"
 #include "efcp/pci.hpp"
@@ -231,6 +232,9 @@ class Ipcp {
   Rmt& rmt() { return rmt_; }
   FlowAllocator& fa() { return fa_; }
   Enrollment& enrollment() { return enrollment_; }
+  /// The RMT's content store, or nullptr when the DIF's policy disables
+  /// it (rmt_content_store_enabled).
+  content::ContentStore* content_store() { return cstore_.get(); }
   naming::Directory& directory() { return dir_; }
   rib::Rib& rib() { return rib_; }
   Stats& stats() { return stats_; }
@@ -329,6 +333,10 @@ class Ipcp {
   // Local delivery.
   void deliver_local(efcp::Pdu&& pdu);
 
+  /// RMT content-store policy, applied to data PDUs in relay. True =
+  /// the PDU was consumed (an interest answered from the store).
+  bool content_store_filter(efcp::Pdu& pdu);
+
   IpcpHost& host_;
   dif::DifConfig cfg_;
   std::uint32_t dif_id_;
@@ -344,6 +352,7 @@ class Ipcp {
   Rmt rmt_;
   FlowAllocator fa_;
   Enrollment enrollment_;
+  std::unique_ptr<content::ContentStore> cstore_;  // per-DIF RMT policy
 
   // Link-state database and flood dedup state.
   std::map<naming::Address, LsuRecord> lsdb_;

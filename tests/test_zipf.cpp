@@ -1,0 +1,77 @@
+// test_zipf — the bench Zipf sampler: rank-frequency shape matches the
+// power law it claims, draws stay in range, and the stream is a pure
+// deterministic function of the seed (bench tables must reproduce
+// byte-for-byte across platforms).
+#include "common.hpp"  // bench/common.hpp — ZipfGen
+
+#include <vector>
+
+#include "test_util.hpp"
+
+using rina::benchx::ZipfGen;
+
+namespace {
+
+void test_rank_frequency_shape() {
+  constexpr std::size_t kN = 1000;
+  constexpr std::size_t kDraws = 300000;
+  ZipfGen z(kN, 1.0, 12345);
+  std::vector<std::uint64_t> counts(kN, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    std::uint64_t r = z.next();
+    CHECK(r < kN);
+    ++counts[r];
+  }
+  // Zipf(1): P(rank r) ∝ 1/(r+1), so rank 0 draws ~2× rank 1 and ~10×
+  // rank 9. 300k draws put ~40k on rank 0 — sampling noise is well under
+  // the tolerances here.
+  double r01 = static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  double r09 = static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  CHECK_NEAR(r01, 2.0, 0.3);
+  CHECK_NEAR(r09, 10.0, 2.0);
+  // The head dominates: the top 10 ranks of 1000 carry over a third of
+  // the mass (the property the CDN bench's cache hit ratios live on).
+  std::uint64_t head = 0;
+  for (std::size_t i = 0; i < 10; ++i) head += counts[i];
+  CHECK(head > kDraws / 3);
+  // ... and the tail still appears: far more distinct ranks than a
+  // degenerate sampler would touch.
+  std::size_t distinct = 0;
+  for (auto c : counts) distinct += c > 0 ? 1 : 0;
+  CHECK(distinct > kN / 2);
+}
+
+void test_alpha_steepness() {
+  // Larger α concentrates more mass on the hottest rank.
+  auto mass_on_rank0 = [](double alpha) {
+    ZipfGen z(100, alpha, 999);
+    std::uint64_t hot = 0;
+    for (std::size_t i = 0; i < 50000; ++i) hot += z.next() == 0 ? 1 : 0;
+    return hot;
+  };
+  std::uint64_t flat = mass_on_rank0(0.5);
+  std::uint64_t steep = mass_on_rank0(1.5);
+  CHECK(steep > flat * 2);
+}
+
+void test_determinism() {
+  ZipfGen a(500, 1.0, 42);
+  ZipfGen b(500, 1.0, 42);
+  ZipfGen c(500, 1.0, 43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t va = a.next();
+    CHECK(va == b.next());  // same seed: identical stream
+    if (va != c.next()) diverged = true;
+  }
+  CHECK(diverged);  // different seed: different stream
+}
+
+}  // namespace
+
+int main() {
+  test_rank_frequency_shape();
+  test_alpha_steepness();
+  test_determinism();
+  return TEST_MAIN_RESULT();
+}
