@@ -14,8 +14,11 @@
 //
 // Metrics: max routing-table size over all nodes/IPCPs; total routing
 // messages to bring the network up; messages triggered by one link flap.
+#include <chrono>
+
 #include "baseline/net.hpp"
 #include "common.hpp"
+#include "common/bytes.hpp"
 
 using namespace rina;
 using namespace rina::benchx;
@@ -194,6 +197,283 @@ Out run_baseline(const Shape& s) {
   return out;
 }
 
+// ---------------------------------------------------------------------
+// C5b — simulation-core scale sweep. N nodes as independent 10-node
+// star regions (border + 7 spokes + 2 hosts), each its own link DIF
+// with keepalives on, one host-to-host flow per region driven by a
+// periodic sender. Everything shares ONE scheduler, so the sweep
+// measures the event core at 1k/10k/100k nodes: hundreds of thousands
+// of concurrent timers (keepalives, senders, EFCP) and bursty link
+// traffic. On top of the datapath, the sweep layers the three timer
+// patterns a large simulation is actually made of: every node runs a
+// fine-grained housekeeping tick (a 1 ms periodic, phase-staggered so
+// firings spread across the horizon); every node carries a population
+// of 64 standing soft-state timers (route TTLs, directory leases,
+// neighbor holds — armed seconds out, firing rarely) so the pending
+// set at the 10k point exceeds half a million concurrent timers; and
+// every flow keeps an idle timer that is rearmed on each SDU sent and
+// therefore almost never fires — the classic RTO shape. Sim-derived
+// numbers (events, bytes, SDUs, ticks, pending timers) are
+// deterministic and go to stdout; wall-clock throughput (events/sec,
+// wall ms) goes to stderr and the RINA_BENCH_JSON file only, so
+// reruns stay byte-identical on stdout.
+
+struct SweepShape {
+  int regions = 0;
+  static constexpr int kSpokes = 7;
+  [[nodiscard]] int nodes_per_region() const { return kSpokes + 3; }
+  [[nodiscard]] int total_nodes() const { return regions * nodes_per_region(); }
+};
+
+struct SweepOut {
+  int nodes = 0;
+  int regions = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t timers = 0;      // pending timers at window start
+  std::uint64_t events = 0;      // scheduler events in the window
+  std::uint64_t ticks = 0;       // housekeeping tick firings in the window
+  std::uint64_t link_bytes = 0;  // tx_bytes over all links in the window
+  std::uint64_t rx_sdus = 0;     // SDUs delivered to the sinks
+  double bytes_per_event = 0;
+  double events_per_sec = 0;  // wall-clock — NOT deterministic
+  double wall_ms = 0;         // wall-clock — NOT deterministic
+};
+
+SweepOut run_sweep_point(const SweepShape& s) {
+  Network net(4242);
+  const auto reg_dif = [](int r) {
+    return naming::DifName{"reg" + std::to_string(r)};
+  };
+  const auto hostA = [](int r) { return "hA" + std::to_string(r); };
+  const auto hostB = [](int r) { return "hB" + std::to_string(r); };
+  for (int r = 0; r < s.regions; ++r) {
+    std::string b = "b" + std::to_string(r);
+    std::vector<std::string> members{b};
+    for (int m = 1; m <= SweepShape::kSpokes; ++m) {
+      std::string sp = "s" + std::to_string(r) + "_" + std::to_string(m);
+      net.add_link(b, sp);
+      members.push_back(sp);
+    }
+    net.add_link(hostA(r), "s" + std::to_string(r) + "_1");
+    net.add_link(hostB(r), b);
+    members.push_back(hostA(r));
+    members.push_back(hostB(r));
+    node::DifSpec spec = mk_dif(reg_dif(r).value, std::move(members));
+    spec.cfg.keepalive_enabled = true;  // standing timer per member IPCP
+    if (!net.build_link_dif(spec).ok()) std::abort();
+  }
+  // All regions converge in parallel on the shared clock.
+  net.run_for(SimTime::from_ms(400));
+
+  // Sinks, then directory settle, then bulk-fire every allocation and
+  // wait once — per-flow run_until would serialize 10k × RTTs.
+  std::uint64_t rx_sdus = 0;
+  for (int r = 0; r < s.regions; ++r) {
+    auto res = net.node(hostB(r)).register_app(
+        naming::AppName{"sink" + std::to_string(r)}, reg_dif(r),
+        [&rx_sdus](flow::Flow f) {
+          f.on_readable([&rx_sdus](flow::Flow& fl) {
+            while (auto sdu = fl.read()) {
+              (void)sdu;
+              ++rx_sdus;
+            }
+          });
+        });
+    if (!res.ok()) std::abort();
+  }
+  net.run_for(SimTime::from_ms(200));
+  std::vector<flow::Flow> flows;
+  flows.reserve(static_cast<std::size_t>(s.regions));
+  for (int r = 0; r < s.regions; ++r) {
+    flows.push_back(net.node(hostA(r)).allocate_flow_on(
+        reg_dif(r), naming::AppName{"src" + std::to_string(r)},
+        naming::AppName{"sink" + std::to_string(r)}, flow::QosSpec{}));
+  }
+  bool all_open = net.run_until(
+      [&] {
+        for (const auto& f : flows)
+          if (f.is_allocating()) return false;
+        return true;
+      },
+      SimTime::from_sec(30));
+  if (!all_open) std::abort();
+  std::uint64_t open = 0;
+  for (const auto& f : flows) open += f.is_open() ? 1 : 0;
+  if (open != flows.size()) std::abort();
+
+  // Timer-stress layer. (a) Every node runs a 1 ms housekeeping tick —
+  // the fine-grained per-entity maintenance a transport stack schedules
+  // (liveness polls, age scans, pacing). First firings are staggered
+  // across 16 phases of the period so they spread over the wheel
+  // horizon instead of arriving as one synchronized thundering herd.
+  // (b) Every node carries 64 standing soft-state timers with periods
+  // spread over 1.0–2.875 s — the route TTLs, directory leases and
+  // neighbor holds that dominate a big simulation's *pending* set while
+  // contributing few firings. They are what every nearer-term insert
+  // and removal has to coexist with: a heap pays O(log n) sifts through
+  // this population per operation, the wheel parks it in far slots for
+  // free. (c) Every flow keeps an idle timer, rearmed on each SDU the
+  // sender writes: armed constantly, virtually never fires. A heap
+  // scheduler pays an allocation plus an O(log n) sift per rearm and
+  // later pops the dead entry; the wheel relinks one pooled node in
+  // O(1).
+  const SimTime tick_period = SimTime::from_ms(1);
+  std::uint64_t maint_ticks = 0;
+  std::vector<sim::Timer> ticks;
+  ticks.reserve(static_cast<std::size_t>(s.total_nodes()));
+  for (int i = 0; i < s.total_nodes(); ++i) {
+    sim::Timer t = net.sched().periodic(tick_period, [&maint_ticks] { ++maint_ticks; });
+    (void)t.rearm_at(net.now() +
+                     SimTime{tick_period.ns * ((i % 16) + 1) / 16});
+    ticks.push_back(std::move(t));
+  }
+  constexpr int kSoftPerNode = 64;
+  std::uint64_t soft_fires = 0;
+  std::vector<sim::Timer> soft;
+  soft.reserve(static_cast<std::size_t>(s.total_nodes()) * kSoftPerNode);
+  for (int i = 0; i < s.total_nodes(); ++i) {
+    for (int j = 0; j < kSoftPerNode; ++j) {
+      SimTime period{SimTime::from_sec(1).ns +
+                     ((i * kSoftPerNode + j) % 16) * SimTime::from_ms(125).ns};
+      soft.push_back(
+          net.sched().periodic(period, [&soft_fires] { ++soft_fires; }));
+    }
+  }
+  const SimTime idle_timeout = SimTime::from_ms(25);
+  std::uint64_t idle_fires = 0;
+  std::vector<sim::Timer> idles;
+  idles.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    idles.push_back(
+        net.sched().schedule_after(idle_timeout, [&idle_fires] { ++idle_fires; }));
+  }
+
+  // Measurement window: every region sends 64-byte stamped SDUs at
+  // 50/s while keepalives, the per-node ticks and the soft-state
+  // population fire underneath.
+  Bytes payload(64, 0xC5);
+  std::vector<sim::Timer> senders;
+  senders.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    senders.push_back(net.sched().periodic(SimTime::from_ms(20), [&, i] {
+      BufWriter w(16);
+      w.put_u64(i);
+      w.put_u64(static_cast<std::uint64_t>(net.now().ns));
+      Bytes stamp = std::move(w).take();
+      std::copy(stamp.begin(), stamp.end(), payload.begin());
+      (void)flows[i].write(BytesView{payload});
+      if (!idles[i].rearm(idle_timeout)) {
+        idles[i] = net.sched().schedule_after(idle_timeout,
+                                              [&idle_fires] { ++idle_fires; });
+      }
+    }));
+  }
+  SimTime window = SimTime::from_sec(2.0 * duration_scale());
+  std::uint64_t pending0 = net.sched().pending();
+  std::uint64_t ticks0 = maint_ticks;
+  std::uint64_t events0 = net.sched().executed();
+  std::uint64_t bytes0 = net.sum_link_counter("tx_bytes");
+  std::uint64_t rx0 = rx_sdus;
+  auto wall0 = std::chrono::steady_clock::now();
+  net.run_for(window);
+  auto wall1 = std::chrono::steady_clock::now();
+  senders.clear();  // cancel-on-destroy stops the load
+  ticks.clear();
+  soft.clear();
+  idles.clear();
+
+  SweepOut out;
+  out.nodes = s.total_nodes();
+  out.regions = s.regions;
+  out.flows = flows.size();
+  out.timers = pending0;
+  out.ticks = maint_ticks - ticks0;
+  out.events = net.sched().executed() - events0;
+  out.link_bytes = net.sum_link_counter("tx_bytes") - bytes0;
+  out.rx_sdus = rx_sdus - rx0;
+  out.bytes_per_event =
+      out.events > 0 ? static_cast<double>(out.link_bytes) /
+                           static_cast<double>(out.events)
+                     : 0.0;
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(wall1 - wall0).count();
+  out.events_per_sec = out.wall_ms > 0
+                           ? static_cast<double>(out.events) * 1e3 / out.wall_ms
+                           : 0.0;
+  return out;
+}
+
+void emit_sweep_json(const std::vector<SweepOut>& rows) {
+  const char* path = std::getenv("RINA_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "RINA_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"c5_scalability\",\n");
+  std::fprintf(f, "  \"duration_scale\": %g,\n  \"sweep\": [\n",
+               duration_scale());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepOut& r = rows[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"regions\": %d, \"flows\": %llu, "
+                 "\"pending_timers\": %llu, \"events\": %llu, "
+                 "\"maint_ticks\": %llu, \"link_bytes\": %llu, "
+                 "\"rx_sdus\": %llu, \"bytes_per_event\": %.3f, "
+                 "\"events_per_sec\": %.0f, \"wall_ms\": %.1f}%s\n",
+                 r.nodes, r.regions, static_cast<unsigned long long>(r.flows),
+                 static_cast<unsigned long long>(r.timers),
+                 static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.ticks),
+                 static_cast<unsigned long long>(r.link_bytes),
+                 static_cast<unsigned long long>(r.rx_sdus),
+                 r.bytes_per_event, r.events_per_sec, r.wall_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
+void run_sweep() {
+  int max_nodes = 100000;
+  if (const char* v = std::getenv("RINA_C5_MAX_NODES")) {
+    int m = std::atoi(v);
+    if (m > 0) max_nodes = m;
+  }
+  TablePrinter t({"N (nodes)", "regions", "flows", "timers", "events",
+                  "ticks", "link bytes", "bytes/event", "rx SDUs"});
+  std::vector<SweepOut> rows;
+  for (int regions : {100, 1000, 10000}) {
+    SweepShape s{regions};
+    if (s.total_nodes() > max_nodes) {
+      std::fprintf(stderr, "sweep point N=%d skipped (RINA_C5_MAX_NODES=%d)\n",
+                   s.total_nodes(), max_nodes);
+      continue;
+    }
+    SweepOut o = run_sweep_point(s);
+    std::fprintf(stderr, "sweep N=%d: %.2fM events/sec (%.0f ms wall)\n",
+                 o.nodes, o.events_per_sec / 1e6, o.wall_ms);
+    t.add_row({TablePrinter::integer(o.nodes), TablePrinter::integer(o.regions),
+               TablePrinter::integer(o.flows), TablePrinter::integer(o.timers),
+               TablePrinter::integer(o.events), TablePrinter::integer(o.ticks),
+               TablePrinter::integer(o.link_bytes),
+               TablePrinter::num(o.bytes_per_event, 2),
+               TablePrinter::integer(o.rx_sdus)});
+    rows.push_back(o);
+  }
+  t.print("C5b simulation-core scale sweep (deterministic columns)");
+  std::printf(
+      "\nEach region is an independent 10-node DIF with keepalives on and\n"
+      "one periodic host-to-host flow; every node runs a staggered 1 ms\n"
+      "housekeeping tick plus 64 standing soft-state timers, and every\n"
+      "flow an idle timer rearmed per SDU. All share one scheduler.\n"
+      "events/sec and wall time are machine-dependent: see stderr and\n"
+      "RINA_BENCH_JSON.\n");
+  emit_sweep_json(rows);
+}
+
 }  // namespace
 
 int main() {
@@ -233,5 +513,6 @@ int main() {
       "linearly with N. Topological aggregation bends the curve to ~region\n"
       "count + region size. Recursion caps EVERY table at its DIF's scope\n"
       "and confines a flap's flood to the region DIF it happened in.\n");
+  run_sweep();
   return 0;
 }

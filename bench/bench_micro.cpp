@@ -122,6 +122,66 @@ static void BM_EncapLegacyCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_EncapLegacyCopy)->Arg(1)->Arg(3)->Arg(6);
 
+// ---------------------------------------------------------------- Arena
+
+// Steady-state packet churn: acquire a headroomed buffer, let it go,
+// repeat. After the first lap, every acquisition should be served from
+// the arena free-list (arena_hit_rate -> 1) and every release should
+// recycle (arena_return_rate -> 1), so allocs/pkt counts pool traffic,
+// not global-allocator traffic. A hit rate well below 1 here means the
+// size-class plumbing regressed and the datapath is back to malloc/free
+// per PDU.
+static void BM_ArenaChurn(benchmark::State& state) {
+  auto size = static_cast<std::size_t>(state.range(0));
+  Bytes payload(size, 0xAB);
+  std::uint64_t pkts = 0;
+  packet_counters().reset();
+  for (auto _ : state) {
+    Packet p = Packet::with_headroom(kDefaultHeadroom, BytesView{payload});
+    benchmark::DoNotOptimize(p);
+    ++pkts;
+  }
+  const auto& c = packet_counters();
+  double n = static_cast<double>(pkts ? pkts : 1);
+  state.counters["allocs/pkt"] =
+      benchmark::Counter(static_cast<double>(c.allocs) / n);
+  state.counters["arena_hit_rate"] = benchmark::Counter(
+      c.allocs ? static_cast<double>(c.arena_hits) / static_cast<double>(c.allocs)
+               : 0.0);
+  state.counters["arena_return_rate"] = benchmark::Counter(
+      c.allocs ? static_cast<double>(c.arena_returns) /
+                     static_cast<double>(c.allocs)
+               : 0.0);
+  state.SetLabel(std::to_string(size) + " B payload");
+}
+BENCHMARK(BM_ArenaChurn)->Arg(64)->Arg(1000)->Arg(8192);
+
+// A burst that outlives its arena class briefly: hold `depth` packets
+// live at once, then release them all. Exercises list growth + reuse
+// across a working set, the shape RMT egress queues produce.
+static void BM_ArenaBurst(benchmark::State& state) {
+  auto depth = static_cast<std::size_t>(state.range(0));
+  Bytes payload(1000, 0xAB);
+  std::vector<Packet> live;
+  live.reserve(depth);
+  std::uint64_t pkts = 0;
+  packet_counters().reset();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < depth; ++i)
+      live.push_back(Packet::with_headroom(kDefaultHeadroom, BytesView{payload}));
+    pkts += depth;
+    live.clear();
+  }
+  const auto& c = packet_counters();
+  state.counters["allocs/pkt"] = benchmark::Counter(
+      static_cast<double>(c.allocs) / static_cast<double>(pkts ? pkts : 1));
+  state.counters["arena_hit_rate"] = benchmark::Counter(
+      c.allocs ? static_cast<double>(c.arena_hits) / static_cast<double>(c.allocs)
+               : 0.0);
+  state.SetLabel("burst " + std::to_string(depth));
+}
+BENCHMARK(BM_ArenaBurst)->Arg(16)->Arg(256);
+
 // One relay hop: decode the arriving frame in place, decrement TTL,
 // re-encode into the same headroom. The only counted copy per iteration
 // is the synthetic frame "arriving" (with_headroom); the relay work
@@ -233,7 +293,7 @@ static void BM_SchedulerChurn(benchmark::State& state) {
   sim::Scheduler sched;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i)
-      sched.schedule_after(SimTime::from_us(i), [] {});
+      sched.post_after(SimTime::from_us(i), [] {});
     sched.run();
   }
 }
@@ -259,12 +319,22 @@ static void BM_EfcpRoundTrip(benchmark::State& state) {
   pa = &a;
   pb = &b;
   Bytes sdu(1000, 0x77);
+  std::uint64_t sdus = 0;
+  packet_counters().reset();
   for (auto _ : state) {
     (void)a.write_sdu(BytesView{sdu});
     sched.run();
+    ++sdus;
   }
+  const auto& c = packet_counters();
+  double n = static_cast<double>(sdus ? sdus : 1);
   state.counters["delivered"] =
       benchmark::Counter(static_cast<double>(delivered));
+  state.counters["allocs/sdu"] =
+      benchmark::Counter(static_cast<double>(c.allocs) / n);
+  state.counters["arena_hit_rate"] = benchmark::Counter(
+      c.allocs ? static_cast<double>(c.arena_hits) / static_cast<double>(c.allocs)
+               : 0.0);
 }
 BENCHMARK(BM_EfcpRoundTrip);
 
@@ -291,10 +361,16 @@ static void BM_EfcpStack(benchmark::State& state) {
     sched.run();
     ++sdus;
   }
+  const auto& c = packet_counters();
+  double n = static_cast<double>(sdus ? sdus : 1);
   state.counters["delivered"] = benchmark::Counter(static_cast<double>(delivered));
-  state.counters["copies/sdu"] = benchmark::Counter(
-      static_cast<double>(packet_counters().payload_copies) /
-      static_cast<double>(sdus ? sdus : 1));
+  state.counters["copies/sdu"] =
+      benchmark::Counter(static_cast<double>(c.payload_copies) / n);
+  state.counters["allocs/sdu"] =
+      benchmark::Counter(static_cast<double>(c.allocs) / n);
+  state.counters["arena_hit_rate"] = benchmark::Counter(
+      c.allocs ? static_cast<double>(c.arena_hits) / static_cast<double>(c.allocs)
+               : 0.0);
   state.SetLabel("depth " + std::to_string(depth));
 }
 BENCHMARK(BM_EfcpStack)->Arg(1)->Arg(3);

@@ -139,7 +139,7 @@ ForeignAgent::ForeignAgent(BNode& node) : node_(node) {
 // ============================ MobileClient ============================
 
 MobileClient::MobileClient(BNode& node, IpAddr home_addr)
-    : node_(node), home_(home_addr), alive_(std::make_shared<bool>(true)) {
+    : node_(node), home_(home_addr) {
   node_.register_proto(kProtoMipCtl, [this](const IpHeader&, Packet&& p, int) {
     BufReader r(p.view());
     std::uint8_t type = r.get_u8();
@@ -162,7 +162,6 @@ void MobileClient::register_with(IpAddr fa_addr, IpAddr home_agent,
   ha_addr_ = home_agent;
   done_ = std::move(done);
   acked_ = false;
-  ++epoch_;
   attempt();
 }
 
@@ -177,14 +176,10 @@ void MobileClient::attempt() {
     stats_.inc("registrations_sent");
     (void)node_.send_on_iface(ifidx, h, mip_msg(kRegRequest, home_, ha_addr_));
   }
-  // Registration or ack may be lost mid-handoff: retry until acked or a
-  // newer registration supersedes this one.
-  std::uint64_t epoch = epoch_;
-  std::weak_ptr<bool> alive = alive_;
-  node_.net().sched().schedule_after(kRegRetry, [this, epoch, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    if (epoch == epoch_ && !acked_) attempt();
+  // Registration or ack may be lost mid-handoff: retry until acked. A
+  // newer registration supersedes this one by re-arming the same timer.
+  reg_timer_ = node_.net().sched().schedule_after(kRegRetry, [this] {
+    if (!acked_) attempt();
   });
 }
 

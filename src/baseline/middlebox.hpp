@@ -136,10 +136,11 @@ class MobileClient {
   IpAddr fa_addr_ = 0;
   IpAddr ha_addr_ = 0;
   std::function<void()> done_;
-  std::uint64_t epoch_ = 0;
   bool acked_ = false;
   Stats stats_;
-  std::shared_ptr<bool> alive_;
+  // Owned retry timer: a newer registration re-arms it (superseding the
+  // pending retry) and destruction cancels it with the client.
+  sim::Timer reg_timer_;
 };
 
 }  // namespace rina::baseline

@@ -129,7 +129,7 @@ void BNode::forward(IpHeader h, Packet payload) {
 // ========================= TransportStack =========================
 
 TransportStack::TransportStack(BNode& node, sim::Scheduler& sched, Config cfg)
-    : node_(node), sched_(sched), cfg_(cfg), alive_(std::make_shared<bool>(true)) {
+    : node_(node), sched_(sched), cfg_(cfg) {
   node_.register_proto(cfg_.proto, [this](const IpHeader& ip, Packet&& seg, int) {
     on_segment(ip, std::move(seg));
   });
@@ -251,16 +251,12 @@ void TransportStack::pump(Sock& s) {
 }
 
 void TransportStack::arm_timer(Sock& s) {
-  std::uint64_t epoch = ++s.timer_epoch;
+  // The common case (every ack) re-arms the live timer in place — no
+  // allocation, no stale closure; the fallback arms a fresh one.
+  if (s.retx_timer.rearm(current_rto(s))) return;
   SockId id = s.id;
-  std::weak_ptr<bool> alive = alive_;
-  sched_.schedule_after(current_rto(s), [this, id, epoch, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    Sock* ss = find(id);
-    if (ss == nullptr || ss->timer_epoch != epoch) return;
-    on_rto(id);
-  });
+  s.retx_timer =
+      sched_.schedule_after(current_rto(s), [this, id] { on_rto(id); });
 }
 
 void TransportStack::on_rto(SockId id) {
@@ -318,7 +314,7 @@ void TransportStack::close_sock(Sock& s, const Error& e) {
   s.state = State::closed;
   s.sendq.clear();
   s.unacked.clear();
-  ++s.timer_epoch;
+  s.retx_timer.cancel();
   if (s.on_closed) s.on_closed(s.id, e);
 }
 
@@ -424,7 +420,7 @@ void TransportStack::on_segment(const IpHeader& ip, Packet&& seg) {
     }
     pump(*s);
     if (s->unacked.empty())
-      ++s->timer_epoch;  // nothing outstanding: quiesce the timer
+      s->retx_timer.cancel();  // nothing outstanding: quiesce the timer
     else if (advanced)
       arm_timer(*s);
   }
@@ -506,12 +502,9 @@ void BaselineNet::on_topology_change(const std::string& a, const std::string& b,
                                      const std::string& domain) {
   if (!routing_enabled_) return;
   flood_lsas({a, b}, domain);
-  if (recompute_scheduled_) return;
-  recompute_scheduled_ = true;
-  sched_.schedule_after(kReconvergence, [this] {
-    recompute_scheduled_ = false;
-    recompute_fibs();
-  });
+  if (recompute_timer_.armed()) return;
+  recompute_timer_ =
+      sched_.schedule_after(kReconvergence, [this] { recompute_fibs(); });
 }
 
 void BaselineNet::flood_lsas(const std::vector<std::string>& origins,

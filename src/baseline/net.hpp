@@ -177,7 +177,9 @@ class TransportStack {
     int backoff = 0;
     int consecutive_rtos = 0;
     int syn_tries = 0;
-    std::uint64_t timer_epoch = 0;
+    // Owned RTO timer: re-arming supersedes, cancel quiesces, and the
+    // sock's destruction is the lifetime guard (no epoch bookkeeping).
+    sim::Timer retx_timer;
     std::function<void(Result<SockId>)> connect_cb;
     std::function<void(SockId, Bytes&&)> on_data;
     std::function<void(SockId, const Error&)> on_closed;
@@ -208,7 +210,6 @@ class TransportStack {
   std::map<std::uint16_t, std::function<void(SockId)>> listeners_;
   SockId next_id_ = 1;
   std::uint16_t next_ephemeral_ = 40000;
-  std::shared_ptr<bool> alive_;
 };
 
 class BaselineNet {
@@ -281,7 +282,7 @@ class BaselineNet {
   std::vector<std::string> domain_order_;
   bool routing_enabled_ = false;
   bool routing_all_nodes_ = false;
-  bool recompute_scheduled_ = false;
+  sim::Timer recompute_timer_;  // debounced FIB rebuild after topology churn
 };
 
 }  // namespace rina::baseline

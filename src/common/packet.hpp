@@ -1,10 +1,10 @@
 // packet.hpp — the zero-copy SDU buffer of the whole datapath.
 //
-// A Packet is a cheap, refcounted handle onto one heap allocation with
-// reserved headroom in front of the data. Each layer of the recursive
-// stack *prepends* its PCI into the headroom instead of re-allocating
-// and re-copying the payload, so encapsulation through N stacked DIFs
-// costs O(1) copies instead of O(N) — the mbuf/skb idea applied to the
+// A Packet is a cheap, refcounted handle onto one buffer with reserved
+// headroom in front of the data. Each layer of the recursive stack
+// *prepends* its PCI into the headroom instead of re-allocating and
+// re-copying the payload, so encapsulation through N stacked DIFs costs
+// O(1) copies instead of O(N) — the mbuf/skb idea applied to the
 // paper's "every layer is the same IPC" recursion.
 //
 // Sharing model (the frontier rule): copying a Packet copies the handle,
@@ -20,15 +20,24 @@
 // retransmission — which prepends onto a parked, non-frontier handle —
 // pays a copy.
 //
-// Process-wide counters (the simulator is single-threaded) make copy
-// behaviour observable: bench_micro's encap section and test_packet
-// assert "≤ 1 payload copy end-to-end" from them.
+// Allocation model: buffers come from PacketArena, a process-wide pool
+// of power-of-two size-class free-lists. Releasing the last handle
+// returns the buffer (vector capacity intact) to its class list, so
+// steady-state traffic recycles a small working set instead of hitting
+// the global allocator per PDU. The simulator is one single-threaded
+// event loop, so one process-wide arena *is* the per-node arena — there
+// is no cross-node contention to isolate; when the sharded scheduler
+// lands, the arena becomes per-shard the same way. The refcount is
+// plain (non-atomic) for the same reason.
+//
+// Process-wide counters make copy and allocation behaviour observable:
+// bench_micro's encap/arena sections and test_packet assert from them.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
-#include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -41,10 +50,12 @@ inline constexpr std::size_t kDefaultHeadroom = 192;
 
 /// Process-wide datapath counters (single-threaded simulator).
 struct PacketCounters {
-  std::uint64_t allocs = 0;            // fresh buffer allocations
+  std::uint64_t allocs = 0;            // buffer acquisitions (pooled or fresh)
   std::uint64_t payload_copies = 0;    // events that memcpy'd payload bytes
   std::uint64_t cow_copies = 0;        // ...of which: shared-prepend copy-on-write
   std::uint64_t headroom_reallocs = 0; // ...of which: headroom exhausted
+  std::uint64_t arena_hits = 0;        // ...allocs served from the free-list
+  std::uint64_t arena_returns = 0;     // buffers recycled into the free-list
 
   void reset() { *this = PacketCounters{}; }
 };
@@ -54,6 +65,107 @@ inline PacketCounters& packet_counters() {
   return c;
 }
 
+namespace detail {
+
+struct PacketBuf {
+  Bytes store;
+  std::size_t min_off = 0;   // frontier: lowest offset any handle reached
+  std::uint32_t refs = 1;    // plain count: the simulator is one thread
+  std::uint8_t size_class = 0;
+};
+
+/// Pool of PacketBuf nodes keyed by power-of-two capacity class. A
+/// released buffer keeps its vector capacity, so re-acquiring one is a
+/// resize() that never reallocates.
+class PacketArena {
+ public:
+  static constexpr std::size_t kMinClass = 256;      // class 0
+  static constexpr int kClasses = 9;                 // 256 .. 64 KiB
+  static constexpr std::uint8_t kUnpooled = 0xFF;
+  /// Per-class memory bound: lists stop growing past ~4 MiB each.
+  static constexpr std::size_t kClassCapBytes = 4u << 20;
+
+  static PacketArena& instance() {
+    static PacketArena a;
+    return a;
+  }
+
+  /// A buffer whose store has exactly `bytes` size (uninitialised tail).
+  PacketBuf* acquire(std::size_t bytes) {
+    int cls = class_of(bytes);
+    if (cls >= 0 && !free_[cls].empty()) {
+      PacketBuf* b = free_[cls].back();
+      free_[cls].pop_back();
+      b->store.resize(bytes);  // capacity >= class size: no reallocation
+      b->min_off = 0;
+      b->refs = 1;
+      ++packet_counters().arena_hits;
+      return b;
+    }
+    auto* b = new PacketBuf;
+    if (cls >= 0) b->store.reserve(class_size(cls));
+    b->store.resize(bytes);
+    b->size_class = cls >= 0 ? static_cast<std::uint8_t>(cls) : kUnpooled;
+    return b;
+  }
+
+  /// Adopt an externally built vector; it joins a class by capacity on
+  /// release (floor power of two), or stays unpooled if too small.
+  PacketBuf* adopt(Bytes&& v) {
+    auto* b = new PacketBuf;
+    b->store = std::move(v);
+    b->size_class = floor_class_of(b->store.capacity());
+    return b;
+  }
+
+  void release(PacketBuf* b) {
+    // Re-class by what the vector actually holds now: take_bytes() may
+    // have moved the storage out, and adoption-time capacity can change
+    // across a prepend realloc.
+    b->size_class = floor_class_of(b->store.capacity());
+    if (b->size_class != kUnpooled) {
+      auto& list = free_[b->size_class];
+      if (list.size() < kClassCapBytes / class_size(b->size_class)) {
+        b->min_off = 0;
+        list.push_back(b);
+        ++packet_counters().arena_returns;
+        return;
+      }
+    }
+    delete b;
+  }
+
+ private:
+  PacketArena() = default;
+  ~PacketArena() {
+    for (auto& list : free_)
+      for (PacketBuf* b : list) delete b;
+  }
+
+  static constexpr std::size_t class_size(int cls) { return kMinClass << cls; }
+
+  /// Smallest class whose size >= bytes; -1 when beyond the largest.
+  static int class_of(std::size_t bytes) {
+    std::size_t sz = kMinClass;
+    for (int c = 0; c < kClasses; ++c, sz <<= 1)
+      if (bytes <= sz) return c;
+    return -1;
+  }
+
+  /// Largest class whose size <= capacity; unpooled when below kMinClass.
+  static std::uint8_t floor_class_of(std::size_t capacity) {
+    int best = -1;
+    std::size_t sz = kMinClass;
+    for (int c = 0; c < kClasses; ++c, sz <<= 1)
+      if (capacity >= sz) best = c;
+    return best < 0 ? kUnpooled : static_cast<std::uint8_t>(best);
+  }
+
+  std::vector<PacketBuf*> free_[kClasses];
+};
+
+}  // namespace detail
+
 class Packet {
  public:
   Packet() = default;
@@ -62,20 +174,48 @@ class Packet {
   /// pays one realloc; prefer with_headroom() on hot paths.
   Packet(Bytes b) {  // NOLINT(google-explicit-constructor): edge adoption
     if (b.empty() && b.capacity() == 0) return;
-    buf_ = std::make_shared<Buf>();
-    buf_->store = std::move(b);
-    buf_->min_off = 0;
+    buf_ = detail::PacketArena::instance().adopt(std::move(b));
     off_ = 0;
     len_ = buf_->store.size();
     ++packet_counters().allocs;
+  }
+
+  ~Packet() { reset(); }
+
+  Packet(const Packet& o) noexcept : buf_(o.buf_), off_(o.off_), len_(o.len_) {
+    if (buf_ != nullptr) ++buf_->refs;
+  }
+  Packet& operator=(const Packet& o) noexcept {
+    if (this != &o) {
+      if (o.buf_ != nullptr) ++o.buf_->refs;  // before reset: self-buffer safe
+      reset();
+      buf_ = o.buf_;
+      off_ = o.off_;
+      len_ = o.len_;
+    }
+    return *this;
+  }
+  Packet(Packet&& o) noexcept : buf_(o.buf_), off_(o.off_), len_(o.len_) {
+    o.buf_ = nullptr;
+    o.off_ = o.len_ = 0;
+  }
+  Packet& operator=(Packet&& o) noexcept {
+    if (this != &o) {
+      reset();
+      buf_ = o.buf_;
+      off_ = o.off_;
+      len_ = o.len_;
+      o.buf_ = nullptr;
+      o.off_ = o.len_ = 0;
+    }
+    return *this;
   }
 
   /// One allocation with `headroom` writable bytes in front of a copy of
   /// `payload`. This copy-in is the single per-SDU copy of the send path.
   static Packet with_headroom(std::size_t headroom, BytesView payload) {
     Packet p;
-    p.buf_ = std::make_shared<Buf>();
-    p.buf_->store.resize(headroom + payload.size());
+    p.buf_ = detail::PacketArena::instance().acquire(headroom + payload.size());
     if (!payload.empty())
       std::memcpy(p.buf_->store.data() + headroom, payload.data(), payload.size());
     p.buf_->min_off = headroom;
@@ -93,14 +233,18 @@ class Packet {
   [[nodiscard]] std::size_t size() const noexcept { return len_; }
   [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
   [[nodiscard]] const std::uint8_t* data() const noexcept {
-    return buf_ ? buf_->store.data() + off_ : nullptr;
+    return buf_ != nullptr ? buf_->store.data() + off_ : nullptr;
   }
   [[nodiscard]] BytesView view() const noexcept { return BytesView{data(), len_}; }
   operator BytesView() const noexcept { return view(); }  // NOLINT: read adaptor
   std::uint8_t operator[](std::size_t i) const noexcept { return data()[i]; }
 
-  [[nodiscard]] std::size_t headroom() const noexcept { return buf_ ? off_ : 0; }
-  [[nodiscard]] bool unique() const noexcept { return buf_ && buf_.use_count() == 1; }
+  [[nodiscard]] std::size_t headroom() const noexcept {
+    return buf_ != nullptr ? off_ : 0;
+  }
+  [[nodiscard]] bool unique() const noexcept {
+    return buf_ != nullptr && buf_->refs == 1;
+  }
 
   /// Grow the view backward by n bytes and return the write pointer for
   /// the new front (the caller fills in its header). In place when safe
@@ -108,17 +252,16 @@ class Packet {
   /// regenerated headroom (counted), so it never fails.
   std::uint8_t* prepend(std::size_t n) {
     auto& c = packet_counters();
-    if (!buf_) {
+    if (buf_ == nullptr) {
       std::size_t hr = n > kDefaultHeadroom ? n : kDefaultHeadroom;
-      buf_ = std::make_shared<Buf>();
-      buf_->store.resize(hr);
+      buf_ = detail::PacketArena::instance().acquire(hr);
       buf_->min_off = hr;
       off_ = hr;
       len_ = 0;
       ++c.allocs;
     }
     bool have_room = off_ >= n;
-    bool exclusive = buf_.use_count() == 1 || off_ == buf_->min_off;
+    bool exclusive = buf_->refs == 1 || off_ == buf_->min_off;
     if (!have_room || !exclusive) {
       if (!have_room)
         ++c.headroom_reallocs;
@@ -147,7 +290,7 @@ class Packet {
   /// that tag a frame, fail with backpressure, and must hand the
   /// untagged frame back to the retry queue.
   void unprepend(std::size_t n) {
-    if (!buf_ || n > len_ || off_ != buf_->min_off) {
+    if (buf_ == nullptr || n > len_ || off_ != buf_->min_off) {
       pull(n);  // contract violated: fall back to the always-safe drop
       return;
     }
@@ -171,17 +314,15 @@ class Packet {
   /// Convert to Bytes at the app edge: moves the underlying vector out
   /// when this handle exclusively owns the whole buffer, copies otherwise.
   [[nodiscard]] Bytes take_bytes() && {
-    if (!buf_) return {};
-    if (buf_.use_count() == 1 && off_ == 0 && len_ == buf_->store.size()) {
+    if (buf_ == nullptr) return {};
+    if (buf_->refs == 1 && off_ == 0 && len_ == buf_->store.size()) {
       Bytes out = std::move(buf_->store);
-      buf_.reset();
-      len_ = 0;
+      reset();  // the emptied shell still recycles into the arena
       return out;
     }
     ++packet_counters().payload_copies;
     Bytes out = view().to_bytes();
-    buf_.reset();
-    off_ = len_ = 0;
+    reset();
     return out;
   }
 
@@ -196,28 +337,35 @@ class Packet {
   friend bool operator==(const Bytes& a, const Packet& b) { return b == a; }
 
  private:
-  struct Buf {
-    Bytes store;
-    std::size_t min_off = 0;  // frontier: lowest offset any handle reached
-  };
-
   /// Copy the current view into a private buffer with at least
   /// max(need, kDefaultHeadroom) bytes of headroom.
   void unshare(std::size_t need) {
     std::size_t hr = need > kDefaultHeadroom ? need : kDefaultHeadroom;
-    auto fresh = std::make_shared<Buf>();
-    fresh->store.resize(hr + len_);
+    detail::PacketBuf* fresh =
+        detail::PacketArena::instance().acquire(hr + len_);
     if (len_ != 0)
       std::memcpy(fresh->store.data() + hr, buf_->store.data() + off_, len_);
     fresh->min_off = hr;
-    buf_ = std::move(fresh);
+    release();
+    buf_ = fresh;
     off_ = hr;
     auto& c = packet_counters();
     ++c.allocs;
     if (len_ != 0) ++c.payload_copies;
   }
 
-  std::shared_ptr<Buf> buf_;
+  void release() noexcept {
+    if (buf_ != nullptr && --buf_->refs == 0)
+      detail::PacketArena::instance().release(buf_);
+  }
+
+  void reset() noexcept {
+    release();
+    buf_ = nullptr;
+    off_ = len_ = 0;
+  }
+
+  detail::PacketBuf* buf_ = nullptr;
   std::size_t off_ = 0;
   std::size_t len_ = 0;
 };

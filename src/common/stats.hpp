@@ -25,6 +25,13 @@ class Stats {
     if (v > c) c = v;
   }
 
+  /// Stable pointer to a counter's cell. std::map nodes never move, so a
+  /// hot path can resolve the name once at construction and bump through
+  /// the pointer afterwards, skipping the string lookup per event.
+  [[nodiscard]] std::uint64_t* slot(const std::string& name) {
+    return &counters_[name];
+  }
+
   [[nodiscard]] std::uint64_t get(const std::string& name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;

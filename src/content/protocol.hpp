@@ -148,8 +148,7 @@ class ContentClient {
       : sched_(sched),
         flow_(std::move(f)),
         name_(std::move(name)),
-        opt_(opt),
-        alive_(std::make_shared<bool>(true)) {
+        opt_(opt) {
     flow_.on_readable([this](flow::Flow& fl) {
       while (auto sdu = fl.read()) on_sdu(BytesView{*sdu});
     });
@@ -161,7 +160,6 @@ class ContentClient {
     });
   }
 
-  ~ContentClient() { *alive_ = false; }
   ContentClient(const ContentClient&) = delete;
   ContentClient& operator=(const ContentClient&) = delete;
 
@@ -191,6 +189,9 @@ class ContentClient {
     std::uint64_t object_id = 0;
     FetchCb cb;
     int sends = 1;  // the initial interest counts as the first send
+    // Owned retry timer: completing (or abandoning) the fetch erases the
+    // Pending, which cancels the timer with it — teardown included.
+    sim::Timer timer;
   };
 
   void send_interest(std::uint64_t id) {
@@ -203,10 +204,9 @@ class ContentClient {
   }
 
   void arm_timer(std::uint64_t id) {
-    std::weak_ptr<bool> alive = alive_;
-    sched_.schedule_after(opt_.interest_timeout, [this, id, alive] {
-      auto a = alive.lock();
-      if (!a || !*a) return;
+    auto tit = pending_.find(id);
+    if (tit == pending_.end()) return;
+    tit->second.timer = sched_.schedule_after(opt_.interest_timeout, [this, id] {
       auto it = pending_.find(id);
       if (it == pending_.end()) return;  // answered meanwhile
       if (it->second.sends > opt_.max_retries) {
@@ -266,7 +266,6 @@ class ContentClient {
   std::uint64_t next_req_ = 1;
   std::map<std::uint64_t, Pending> pending_;
   Stats stats_;
-  std::shared_ptr<bool> alive_;
 };
 
 /// The origin side: serves objects from a provider function over every

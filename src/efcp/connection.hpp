@@ -16,9 +16,9 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/packet.hpp"
@@ -52,8 +52,14 @@ class Connection {
         id_(id),
         send_(std::move(send)),
         deliver_(std::move(deliver)),
-        rto_(pol.initial_rto),
-        alive_(std::make_shared<bool>(true)) {
+        rto_(pol.initial_rto) {
+    // Per-PDU counter cells resolved once (Stats::slot): these five run
+    // for every data PDU / ack on the connection.
+    c_pdus_tx_ = stats_.slot("pdus_tx");
+    c_pdus_rx_ = stats_.slot("pdus_rx");
+    c_acks_tx_ = stats_.slot("acks_tx");
+    c_acks_rx_ = stats_.slot("acks_rx");
+    c_sdus_delivered_ = stats_.slot("sdus_delivered");
     // DTCP governs the reliable sender's admission; an unreliable flow
     // has no acks (so no window and no congestion feedback) and sends
     // on write. A non-default tx policy on such a flow is inert —
@@ -62,7 +68,6 @@ class Connection {
       stats_.inc("dtcp_policy_ignored");
   }
 
-  ~Connection() { *alive_ = false; }
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
@@ -95,7 +100,7 @@ class Connection {
     if (sdu.size() > kMaxSduBytes)
       return {Err::invalid, "SDU exceeds the PCI length field (no fragmentation)"};
     if (!pol_.reliable) {
-      stats_.inc("pdus_tx");
+      ++*c_pdus_tx_;
       send_(make_data(next_seq_++, std::move(sdu), false));
       return Ok();
     }
@@ -190,8 +195,8 @@ class Connection {
     // Park a handle, not a copy: the frame keeps traveling down the stack
     // as the buffer's frontier handle, so lower-layer prepends stay in
     // place; only an actual retransmission pays a copy-on-write.
-    inflight_[seq] = Unacked{payload.share(), sched_.now(), false};
-    stats_.inc("pdus_tx");
+    inflight_.emplace_back(seq, Unacked{payload.share(), sched_.now(), false});
+    ++*c_pdus_tx_;
     dtcp_.on_sent();
     send_(make_data(seq, std::move(payload), false));
     if (inflight_.size() == 1) arm_timer();
@@ -211,14 +216,12 @@ class Connection {
   /// A refused writer gets one wake-up when admission reopens. Deferred
   /// through the scheduler so the callback never reenters the caller that
   /// triggered the drain; the refusal predicate is rechecked at fire time
-  /// (another writer may have refilled the queue meanwhile).
+  /// (another writer may have refilled the queue meanwhile). The owned
+  /// Timer is the lifetime guard: destroying the connection cancels it.
   void maybe_notify_writable() {
     if (!refused_ || !on_writable_ || would_refuse()) return;
     refused_ = false;
-    std::weak_ptr<bool> alive = alive_;
-    sched_.schedule_after(SimTime{0}, [this, alive] {
-      auto a = alive.lock();
-      if (!a || !*a) return;
+    writable_timer_ = sched_.schedule_after(SimTime{0}, [this] {
       if (on_writable_ && !would_refuse()) on_writable_();
     });
   }
@@ -228,22 +231,16 @@ class Connection {
   /// timer must. Window-closed queueing still drains from on_ack.
   void schedule_paced_drain() {
     if (pol_.tx_policy != TxPolicy::rate_based) return;
-    if (pace_scheduled_ || sendq_.empty()) return;
+    if (pace_timer_.armed() || sendq_.empty()) return;
     if (!dtcp_.window_open(inflight_.size())) return;  // acks will drain
-    pace_scheduled_ = true;
-    std::weak_ptr<bool> alive = alive_;
-    sched_.schedule_after(dtcp_.next_ready_delay(), [this, alive] {
-      auto a = alive.lock();
-      if (!a || !*a) return;
-      pace_scheduled_ = false;
-      drain_sendq();
-    });
+    pace_timer_ =
+        sched_.schedule_after(dtcp_.next_ready_delay(), [this] { drain_sendq(); });
   }
 
   // ---- sender side ----
 
   void on_ack(const Pci& pci) {
-    stats_.inc("acks_rx");
+    ++*c_acks_rx_;
     std::uint64_t cum = pci.seq;
     // An echoed congestion mark is acted on whether or not the ack
     // advances — the receiver saw congestion inside this DIF.
@@ -253,10 +250,10 @@ class Connection {
     }
     if (cum > acked_) {
       std::size_t newly = 0;
-      for (auto it = inflight_.begin();
-           it != inflight_.end() && it->first < cum;) {
-        if (!it->second.retransmitted) sample_rtt(sched_.now() - it->second.sent);
-        it = inflight_.erase(it);
+      while (!inflight_.empty() && inflight_.front().first < cum) {
+        const Unacked& u = inflight_.front().second;
+        if (!u.retransmitted) sample_rtt(sched_.now() - u.sent);
+        inflight_.pop_front();
         ++newly;
       }
       acked_ = cum;
@@ -278,12 +275,12 @@ class Connection {
   }
 
   void retransmit_oldest(bool fast) {
-    auto it = inflight_.begin();
-    if (it == inflight_.end()) return;
-    it->second.retransmitted = true;
+    if (inflight_.empty()) return;
+    auto& [seq, u] = inflight_.front();
+    u.retransmitted = true;
     stats_.inc("pdus_retx");
     if (fast) stats_.inc("fast_retx");
-    send_(make_data(it->first, it->second.payload.share(), true));
+    send_(make_data(seq, u.payload.share(), true));
   }
 
   void on_rto() {
@@ -300,19 +297,20 @@ class Connection {
     arm_timer();
   }
 
+  /// (Re)target the retransmission timer at the owned handle: the common
+  /// path — an ack while the timer is armed — rearms in place, reusing
+  /// the stored closure with no allocation; cancellation is the handle's
+  /// destructor, so no epoch or alive-token bookkeeping remains.
   void arm_timer() {
-    ++timer_epoch_;
-    if (inflight_.empty()) return;
+    if (inflight_.empty()) {
+      rto_timer_.cancel();
+      return;
+    }
     SimTime t = rto_;
     for (int i = 0; i < backoff_; ++i) t = t + t;
     if (pol_.max_rto < t) t = pol_.max_rto;
-    std::uint64_t epoch = timer_epoch_;
-    std::weak_ptr<bool> alive = alive_;
-    sched_.schedule_after(t, [this, epoch, alive] {
-      auto a = alive.lock();
-      if (!a || !*a || epoch != timer_epoch_) return;
-      on_rto();
-    });
+    if (!rto_timer_.rearm(t))
+      rto_timer_ = sched_.schedule_after(t, [this] { on_rto(); });
   }
 
   void sample_rtt(SimTime rtt) {
@@ -333,7 +331,7 @@ class Connection {
   // ---- receiver side ----
 
   void on_data(const Pci& pci, Packet&& payload) {
-    stats_.inc("pdus_rx");
+    ++*c_pdus_rx_;
     if ((pci.flags & kFlagEcn) != 0) {
       // A congested RMT inside this DIF marked the PDU; echo on the next
       // ack so the sender's DTCP backs off within the DIF's scope.
@@ -341,7 +339,7 @@ class Connection {
       ecn_to_echo_ = true;
     }
     if (!pol_.reliable) {
-      stats_.inc("sdus_delivered");
+      ++*c_sdus_delivered_;
       deliver_(std::move(payload));
       return;
     }
@@ -349,14 +347,14 @@ class Connection {
       stats_.inc("pdus_dup");
     } else if (pci.seq == next_expected_) {
       ++next_expected_;
-      stats_.inc("sdus_delivered");
+      ++*c_sdus_delivered_;
       deliver_(std::move(payload));
       if (pol_.in_order) {
         // Drain any contiguous run that was waiting on this PDU.
         for (auto it = reorder_.begin();
              it != reorder_.end() && it->first == next_expected_;) {
           ++next_expected_;
-          stats_.inc("sdus_delivered");
+          ++*c_sdus_delivered_;
           deliver_(std::move(it->second));
           it = reorder_.erase(it);
         }
@@ -372,7 +370,7 @@ class Connection {
         stats_.inc("pdus_dup");
       } else if (delivered_ooo_.size() < pol_.reorder_buf) {
         delivered_ooo_.insert(pci.seq);
-        stats_.inc("sdus_delivered");
+        ++*c_sdus_delivered_;
         deliver_(std::move(payload));
       } else {
         stats_.inc("reorder_drops");
@@ -399,7 +397,7 @@ class Connection {
       ecn_to_echo_ = false;
       stats_.inc("ecn_echoed");
     }
-    stats_.inc("acks_tx");
+    ++*c_acks_tx_;
     send_(std::move(p));
   }
 
@@ -411,28 +409,37 @@ class Connection {
   DeliverFn deliver_;
   std::function<void()> on_writable_;
   Stats stats_;
+  // Cached per-PDU counter cells (see Stats::slot), set in the ctor.
+  std::uint64_t* c_pdus_tx_ = nullptr;
+  std::uint64_t* c_pdus_rx_ = nullptr;
+  std::uint64_t* c_acks_tx_ = nullptr;
+  std::uint64_t* c_acks_rx_ = nullptr;
+  std::uint64_t* c_sdus_delivered_ = nullptr;
 
   // Sender.
   std::uint64_t next_seq_ = 0;
   std::uint64_t acked_ = 0;
-  std::map<std::uint64_t, Unacked> inflight_;
+  // Sequence numbers are assigned monotonically and acked cumulatively,
+  // so the unacked set is a deque ordered by construction: O(1) append,
+  // O(1) cumulative-ack pops, O(1) oldest-hole lookup — no map on the
+  // per-PDU path.
+  std::deque<std::pair<std::uint64_t, Unacked>> inflight_;
   std::deque<Packet> sendq_;
   int dup_acks_ = 0;
   int backoff_ = 0;
-  bool pace_scheduled_ = false;
   bool refused_ = false;  // a write hit backpressure; wake-up armed
   SimTime rto_;
   SimTime srtt_{};
   SimTime rttvar_{};
-  std::uint64_t timer_epoch_ = 0;
+  sim::Timer rto_timer_;
+  sim::Timer pace_timer_;
+  sim::Timer writable_timer_;
 
   // Receiver.
   std::uint64_t next_expected_ = 0;
   bool ecn_to_echo_ = false;
   std::map<std::uint64_t, Packet> reorder_;       // in-order: held-back SDUs
   std::set<std::uint64_t> delivered_ooo_;         // unordered: dedup/ack edge
-
-  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace rina::efcp

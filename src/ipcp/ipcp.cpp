@@ -5,6 +5,7 @@
 #include "ipcp/ipcp.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "content/protocol.hpp"
 
@@ -79,6 +80,28 @@ Packet mgmt_payload(const rib::RiepMessage& m) {
   return Packet::with_headroom(kDefaultHeadroom, BytesView{raw});
 }
 
+/// The one keepalive message every node sends, pre-encoded. Keepalives
+/// carry no per-node state, so at scale re-running the RIEP encoder per
+/// port per tick is pure waste; both send_mgmt and handle_mgmt key off
+/// these exact bytes.
+const Bytes& keepalive_wire() {
+  static const Bytes wire = [] {
+    rib::RiepMessage m;
+    m.op = rib::RiepOp::write;
+    m.obj_name = "/dif/keepalive";
+    m.obj_class = kClsKeepAlive;
+    return m.encode();
+  }();
+  return wire;
+}
+
+/// True iff `m` is exactly the canonical keepalive keepalive_wire()
+/// encodes — the only shape keepalive_tick ever sends.
+bool is_canonical_keepalive(const rib::RiepMessage& m) {
+  return m.obj_class == kClsKeepAlive && m.op == rib::RiepOp::write &&
+         m.invoke_id == 0 && m.obj_name == "/dif/keepalive" && m.value.empty();
+}
+
 naming::Address get_addr(BufReader& r) {
   std::uint32_t k = r.get_u32();
   return naming::Address{static_cast<std::uint16_t>(k >> 16),
@@ -107,8 +130,11 @@ Ipcp::Ipcp(IpcpHost& host, const dif::DifConfig& cfg, std::uint32_t dif_id)
       dif_id_(dif_id),
       rmt_(*this),
       fa_(*this),
-      enrollment_(*this),
-      alive_token_(std::make_shared<bool>(true)) {
+      enrollment_(*this) {
+  c_hellos_sent_ = stats_.slot("hellos_sent");
+  c_keepalives_sent_ = stats_.slot("keepalives_sent");
+  c_lsus_flooded_ = stats_.slot("lsus_flooded");
+  c_riep_sent_ = stats_.slot("riep_sent");
   if (cfg_.cubes.empty()) cfg_.cubes = dif::default_cubes();
   if (cfg_.rmt_content_store_enabled && cfg_.rmt_content_store_objects > 0)
     cstore_ = std::make_unique<content::ContentStore>(
@@ -119,8 +145,8 @@ std::uint64_t Ipcp::counter_sum(const std::string& name) const {
   std::uint64_t n = stats_.get(name) + rmt_.stats_.get(name) +
                     fa_.stats_.get(name) + enrollment_.stats_.get(name);
   if (cstore_) n += cstore_->stats().get(name);
-  for (const auto& [port, rec] : fa_.flows_)
-    if (rec->conn) n += rec->conn->stats().get(name);
+  for (const auto& rec : fa_.flows_)
+    if (rec && rec->conn) n += rec->conn->stats().get(name);
   return n;
 }
 
@@ -129,9 +155,10 @@ void Ipcp::bootstrap_member(naming::Address addr) {
   enrolled_ = true;
   rib_.upsert("/dif/name", "DifName", to_bytes(cfg_.name.str()));
   rib_.upsert("/dif/address", "Address", to_bytes(addr.to_string()));
-  if (cfg_.keepalive_enabled && !keepalive_running_) {
-    keepalive_running_ = true;
+  if (cfg_.keepalive_enabled && !keepalive_timer_.armed()) {
     keepalive_tick();
+    keepalive_timer_ =
+        sched().periodic(cfg_.keepalive_interval, [this] { keepalive_tick(); });
   }
 }
 
@@ -180,11 +207,8 @@ void Ipcp::send_hello(relay::PortIndex idx) {
   m.value = std::move(w).take();
   send_mgmt(idx, m);
   // A lost hello would strand the adjacency half-open; repeat until the
-  // peer is heard from.
-  std::weak_ptr<bool> alive = alive_token_;
-  sched().schedule_after(kHelloRetry, [this, idx, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
+  // peer is heard from. The timer lives in the port, so it dies with us.
+  p.hello_timer = sched().schedule_after(kHelloRetry, [this, idx] {
     Port& pp = ports_[idx];
     if (enrolled_ && pp.carrier && !pp.peer_enrolled) send_hello(idx);
   });
@@ -246,7 +270,7 @@ void Ipcp::on_port_frame(relay::PortIndex idx, Packet&& frame) {
     rmt_.stats_.inc("drop_no_route");
     return;
   }
-  rmt_.stats_.inc("relayed");
+  ++*rmt_.c_relayed_;
   rmt_.egress(*out, std::move(pdu));
 }
 
@@ -269,13 +293,9 @@ void Ipcp::deliver_local(efcp::Pdu&& pdu) {
     }
     return;
   }
-  // Data / ack: demultiplex on the destination CEP.
-  auto it = fa_.by_cep_.find(pdu.pci.dest_cep);
-  if (it == fa_.by_cep_.end()) {
-    rmt_.stats_.inc("drop_no_cep");
-    return;
-  }
-  auto* rec = fa_.by_port(it->second);
+  // Data / ack: demultiplex on the destination CEP — two dense vector
+  // indexes, not a map walk; this is the per-PDU hot path.
+  auto* rec = fa_.by_cep(pdu.pci.dest_cep);
   if (rec == nullptr || !rec->conn) {
     rmt_.stats_.inc("drop_no_cep");
     return;
@@ -331,20 +351,23 @@ bool Ipcp::content_store_filter(efcp::Pdu& pdu) {
 void Ipcp::send_mgmt(relay::PortIndex idx, const rib::RiepMessage& m) {
   if (idx >= ports_.size()) return;
   if (m.obj_class == kClsHello) {
-    stats_.inc("hellos_sent");
+    ++*c_hellos_sent_;
   } else if (m.obj_class == kClsKeepAlive) {
-    stats_.inc("keepalives_sent");
+    ++*c_keepalives_sent_;
   } else if (m.obj_class == kClsLsu) {
-    stats_.inc("lsus_flooded");
+    ++*c_lsus_flooded_;
   } else {
-    stats_.inc("riep_sent");
+    ++*c_riep_sent_;
     if (m.obj_class == kClsJoinReq) enrollment_.stats_.inc("join_requests_sent");
   }
   efcp::Pdu pdu;
   pdu.pci.type = efcp::PduType::mgmt;
   pdu.pci.src = address_;
   pdu.pci.dest = naming::Address{};  // port-local
-  pdu.payload = mgmt_payload(m);
+  pdu.payload = is_canonical_keepalive(m)
+                    ? Packet::with_headroom(kDefaultHeadroom,
+                                            BytesView{keepalive_wire()})
+                    : mgmt_payload(m);
   rmt_.egress(idx, std::move(pdu));
 }
 
@@ -359,6 +382,23 @@ void Ipcp::send_routed_mgmt(naming::Address dest, const rib::RiepMessage& m) {
 }
 
 void Ipcp::handle_mgmt(relay::PortIndex idx, const efcp::Pdu& pdu) {
+  // Keepalives are the one mgmt message sent per port per tick forever;
+  // a byte-compare against the canonical encoding skips the full RIEP
+  // decode. Semantics match the slow path below exactly: keepalive is
+  // none of the pre-enrollment classes, so the membership gate applies.
+  {
+    BytesView v = pdu.payload.view();
+    const Bytes& ka = keepalive_wire();
+    if (v.size() == ka.size() &&
+        std::memcmp(v.data(), ka.data(), v.size()) == 0) {
+      if (!ports_[idx].peer_enrolled) {
+        rmt_.stats_.inc("drop_unenrolled_port");
+      } else {
+        handle_keepalive(idx);
+      }
+      return;
+    }
+  }
   auto decoded = rib::RiepMessage::decode(pdu.payload.view());
   if (!decoded.ok()) {
     rmt_.stats_.inc("drop_decode");
@@ -462,18 +502,11 @@ void Ipcp::adjacency_changed() {
   schedule_spf();
   if (now_set == last_neighbor_set_) return;
   last_neighbor_set_ = now_set;
-  if (lsu_scheduled_ || !enrolled_) return;
-  lsu_scheduled_ = true;
-  std::weak_ptr<bool> alive = alive_token_;
-  sched().schedule_after(kLsuDebounce, [this, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    originate_lsu();
-  });
+  if (lsu_timer_.armed() || !enrolled_) return;
+  lsu_timer_ = sched().schedule_after(kLsuDebounce, [this] { originate_lsu(); });
 }
 
 void Ipcp::originate_lsu() {
-  lsu_scheduled_ = false;
   if (!enrolled_ || address_.is_null()) return;
   ++lsu_seq_;
   std::vector<naming::Address> neighbors;
@@ -525,18 +558,11 @@ void Ipcp::handle_lsu(relay::PortIndex idx, const rib::RiepMessage& m) {
 }
 
 void Ipcp::schedule_spf() {
-  if (spf_scheduled_ || departed_) return;
-  spf_scheduled_ = true;
-  std::weak_ptr<bool> alive = alive_token_;
-  sched().schedule_after(kSpfDebounce, [this, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    run_spf();
-  });
+  if (spf_timer_.armed() || departed_) return;
+  spf_timer_ = sched().schedule_after(kSpfDebounce, [this] { run_spf(); });
 }
 
 void Ipcp::run_spf() {
-  spf_scheduled_ = false;
   if (!enrolled_ || address_.is_null()) return;
   stats_.inc("spf_runs");
 
@@ -576,7 +602,6 @@ void Ipcp::run_spf() {
 // --------------------------- keepalives ---------------------------
 
 void Ipcp::keepalive_tick() {
-  if (!keepalive_running_) return;
   rib::RiepMessage m;
   m.op = rib::RiepOp::write;
   m.obj_name = "/dif/keepalive";
@@ -595,12 +620,6 @@ void Ipcp::keepalive_tick() {
     if (p.alive) send_mgmt(static_cast<relay::PortIndex>(i), m);
   }
   if (changed) adjacency_changed();
-  std::weak_ptr<bool> alive = alive_token_;
-  sched().schedule_after(cfg_.keepalive_interval, [this, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    keepalive_tick();
-  });
 }
 
 // --------------------------- enrollment ---------------------------
@@ -611,7 +630,6 @@ Result<void> Ipcp::enroll_via(relay::PortIndex idx) {
   departed_ = false;
   enrollment_.join_port_ = idx;
   enrollment_.attempts_ = 0;
-  ++enrollment_.attempt_epoch_;
   join_attempt(idx);
   return Ok();
 }
@@ -633,12 +651,8 @@ void Ipcp::join_attempt(relay::PortIndex idx) {
   m.value = std::move(w).take();
   send_mgmt(idx, m);
 
-  std::uint64_t epoch = enrollment_.attempt_epoch_;
-  std::weak_ptr<bool> alive = alive_token_;
-  sched().schedule_after(kJoinTimeout, [this, idx, epoch, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    if (!enrolled_ && epoch == enrollment_.attempt_epoch_) join_attempt(idx);
+  enrollment_.join_timer_ = sched().schedule_after(kJoinTimeout, [this, idx] {
+    if (!enrolled_) join_attempt(idx);
   });
 }
 
@@ -739,12 +753,9 @@ void Ipcp::handle_join_msg(relay::PortIndex idx, const rib::RiepMessage& m) {
     if (enrolled_ || !enrollment_.join_port_ || *enrollment_.join_port_ != idx)
       return;
     enrollment_.stats_.inc("join_rejects_received");
-    std::uint64_t epoch = ++enrollment_.attempt_epoch_;
-    std::weak_ptr<bool> alive = alive_token_;
-    sched().schedule_after(kJoinRetryGap, [this, idx, epoch, alive] {
-      auto a = alive.lock();
-      if (!a || !*a) return;
-      if (!enrolled_ && epoch == enrollment_.attempt_epoch_) join_attempt(idx);
+    // Re-arming the join timer supersedes the pending timeout retry.
+    enrollment_.join_timer_ = sched().schedule_after(kJoinRetryGap, [this, idx] {
+      if (!enrolled_) join_attempt(idx);
     });
     return;
   }
@@ -830,7 +841,7 @@ void Ipcp::complete_enrollment(relay::PortIndex idx, const rib::RiepMessage& m) 
     }
   }
   if (!r.ok()) return;
-  ++enrollment_.attempt_epoch_;  // cancel retries
+  enrollment_.join_timer_.cancel();  // the pending timeout retry
   enrollment_.stats_.inc("joins_completed");
   p.peer = member;
   p.peer_enrolled = true;
@@ -852,7 +863,7 @@ void Ipcp::leave(bool teardown_flows) {
     if (usable(ports_[i])) send_mgmt(static_cast<relay::PortIndex>(i), bye);
   enrolled_ = false;
   departed_ = true;
-  keepalive_running_ = false;
+  keepalive_timer_.cancel();
   stats_.inc("departures");
 }
 
@@ -882,14 +893,17 @@ void Ipcp::publish_app(const naming::AppName& app) {
   // Registration can race adjacency bring-up (the flood reaches only
   // usable ports); re-announce with fresh sequence numbers until the DIF
   // has had time to converge.
-  std::weak_ptr<bool> alive = alive_token_;
+  announce_timers_.erase(
+      std::remove_if(announce_timers_.begin(), announce_timers_.end(),
+                     [](const sim::Timer& t) { return !t.armed(); }),
+      announce_timers_.end());
   for (double ms : {20.0, 100.0, 500.0}) {
-    sched().schedule_after(SimTime::from_ms(ms), [this, app, alive] {
-      auto a = alive.lock();
-      if (!a || !*a) return;
-      if (enrolled_ && dir_.lookup(app) == std::optional<naming::Address>{address_})
-        flood_dir_entry(app, 1);
-    });
+    announce_timers_.push_back(
+        sched().schedule_after(SimTime::from_ms(ms), [this, app] {
+          if (enrolled_ &&
+              dir_.lookup(app) == std::optional<naming::Address>{address_})
+            flood_dir_entry(app, 1);
+        }));
   }
 }
 
@@ -956,7 +970,7 @@ void Ipcp::handle_dir_update(relay::PortIndex idx, const rib::RiepMessage& m) {
 // ============================== Rmt ==============================
 
 void Rmt::send(efcp::Pdu&& pdu) {
-  stats_.inc("pdus_out");
+  ++*c_pdus_out_;
   if (pdu.pci.dest == self_.address_ && !pdu.pci.dest.is_null()) {
     self_.deliver_local(std::move(pdu));
     return;
@@ -1021,21 +1035,16 @@ void Rmt::egress(relay::PortIndex port, efcp::Pdu&& pdu) {
     stats_.inc("rmt_drops");
     return;
   }
-  stats_.note_max("rmt_queue_peak", p.queue.peak());
+  if (std::uint64_t pk = p.queue.peak(); pk > *c_rmt_queue_peak_)
+    *c_rmt_queue_peak_ = pk;
   schedule_drain(port);
 }
 
 void Rmt::schedule_drain(relay::PortIndex port) {
   Ipcp::Port& p = self_.ports_[port];
-  if (p.drain_scheduled) return;
-  p.drain_scheduled = true;
-  std::weak_ptr<bool> alive = self_.alive_token_;
-  self_.sched().schedule_after(kDrainRetry, [this, port, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    self_.ports_[port].drain_scheduled = false;
-    drain(port);
-  });
+  if (p.drain_timer.armed()) return;
+  p.drain_timer =
+      self_.sched().schedule_after(kDrainRetry, [this, port] { drain(port); });
 }
 
 void Rmt::drain(relay::PortIndex port) {
@@ -1074,9 +1083,15 @@ bool FlowAllocator::can_satisfy(const flow::QosSpec& spec) const {
   return find_cube(spec) != nullptr;
 }
 
-FlowAllocator::FlowRec* FlowAllocator::by_port(flow::PortId p) {
-  auto it = flows_.find(p);
-  return it == flows_.end() ? nullptr : it->second.get();
+FlowAllocator::~FlowAllocator() {
+  // Detach surviving app handles: their write/deallocate ops capture
+  // `this`, which is about to die. finish_close normally does this per
+  // flow; teardown does it wholesale.
+  for (auto& rec : flows_) {
+    if (!rec || !rec->shared) continue;
+    rec->shared->do_write = nullptr;
+    rec->shared->do_deallocate = nullptr;
+  }
 }
 
 void FlowAllocator::allocate(const naming::AppName& local,
@@ -1130,12 +1145,8 @@ void FlowAllocator::try_pending(std::uint32_t invoke_id) {
                                           self_.cfg_.name.str()});
       return;
     }
-    std::weak_ptr<bool> alive = self_.alive_token_;
-    self_.sched().schedule_after(kAllocRetry, [this, invoke_id, alive] {
-      auto a = alive.lock();
-      if (!a || !*a) return;
-      try_pending(invoke_id);
-    });
+    pend.timer = self_.sched().schedule_after(
+        kAllocRetry, [this, invoke_id] { try_pending(invoke_id); });
     return;
   }
 
@@ -1156,11 +1167,9 @@ void FlowAllocator::try_pending(std::uint32_t invoke_id) {
   pend.sent = true;
 
   // Re-try until answered: the request may race routing convergence or
-  // the destination may have moved.
-  std::weak_ptr<bool> alive = self_.alive_token_;
-  self_.sched().schedule_after(kAllocResend, [this, invoke_id, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
+  // the destination may have moved. The timer dies with the Pending, so
+  // an answered request cannot fire a stale resend.
+  pend.timer = self_.sched().schedule_after(kAllocResend, [this, invoke_id] {
     auto pit = pending_.find(invoke_id);
     if (pit == pending_.end()) return;
     if (self_.sched().now() >= pit->second.deadline) {
@@ -1251,17 +1260,12 @@ void FlowAllocator::attach_handle(
   rec->shared = shared;
   shared->rx_cap = self_.cfg_.app_rx_queue_sdus;
   shared->node_stats = self_.host_.node_stats();
-  std::weak_ptr<bool> alive = self_.alive_token_;
-  shared->do_write = [this, port, alive](BytesView sdu) -> Result<void> {
-    auto a = alive.lock();
-    if (!a || !*a) return {Err::flow_closed, "IPC process gone"};
+  // ~FlowAllocator detaches these ops from every live handle, so a Flow
+  // outliving its IPCP fails typed instead of dereferencing a dead this.
+  shared->do_write = [this, port](BytesView sdu) -> Result<void> {
     return write(port, sdu);
   };
-  shared->do_deallocate = [this, port, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    (void)deallocate(port);
-  };
+  shared->do_deallocate = [this, port] { (void)deallocate(port); };
   if (rec->conn)
     rec->conn->set_on_writable([this, port] { notify_writable(port); });
 }
@@ -1276,17 +1280,13 @@ void FlowAllocator::notify_writable(flow::PortId port) {
 /// Unreliable flows blocked on a full RMT class queue have no ack clock
 /// to wake them; poll the queue until it has room, then fire on_writable.
 void FlowAllocator::arm_rmt_poll(FlowRec& rec) {
-  if (rec.rmt_poll_armed) return;
-  rec.rmt_poll_armed = true;
+  if (rec.rmt_poll_timer.armed()) return;
   flow::PortId port = rec.port;
-  std::uint64_t epoch = rec.epoch;
-  std::weak_ptr<bool> alive = self_.alive_token_;
-  self_.sched().schedule_after(kRmtPollGap, [this, port, epoch, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
+  // The timer dies with the record, so a recycled port-id can never be
+  // polled on a stale flow's behalf.
+  rec.rmt_poll_timer = self_.sched().schedule_after(kRmtPollGap, [this, port] {
     FlowRec* r = by_port(port);
-    if (r == nullptr || r->epoch != epoch) return;
-    r->rmt_poll_armed = false;
+    if (r == nullptr) return;
     if (!r->shared || !r->shared->want_writable || r->closing) return;
     if (self_.rmt_.would_accept(r->peer, r->cube.id))
       notify_writable(port);
@@ -1353,10 +1353,9 @@ void FlowAllocator::on_flow_req(const efcp::Pci& /*pci*/, const rib::RiepMessage
   rec->cube = *cube;
   rec->local_cep = next_cep_++;
   rec->remote_cep = src_cep;
-  rec->epoch = next_epoch_++;
   create_connection(*rec);
   flow::PortId port = rec->port;
-  by_cep_[rec->local_cep] = port;
+  set_cep(rec->local_cep, port);
   remote_flow_index_[key] = port;
   stats_.inc("flows_accepted");
 
@@ -1367,7 +1366,7 @@ void FlowAllocator::on_flow_req(const efcp::Pci& /*pci*/, const rib::RiepMessage
   info.remote = src_app;
   info.dif = self_.cfg_.name;
   efcp::CepId local_cep = rec->local_cep;
-  flows_.emplace(port, std::move(rec));
+  insert_rec(std::move(rec));
   // Reply BEFORE handing the app its handle: an accept handler that
   // writes immediately (server-push) would otherwise race its own SDUs
   // ahead of the FlowResp through the FIFO RMT queue, and the initiator
@@ -1405,7 +1404,6 @@ void FlowAllocator::on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m
   rec->cube = pend.cube;
   rec->local_cep = pend.local_cep;
   rec->remote_cep = cep;
-  rec->epoch = next_epoch_++;
   create_connection(*rec);
 
   flow::FlowInfo info;
@@ -1414,8 +1412,8 @@ void FlowAllocator::on_flow_resp(const efcp::Pci& pci, const rib::RiepMessage& m
   info.local = pend.local;
   info.remote = pend.remote;
   info.dif = self_.cfg_.name;
-  by_cep_[rec->local_cep] = rec->port;
-  flows_.emplace(rec->port, std::move(rec));
+  set_cep(rec->local_cep, rec->port);
+  insert_rec(std::move(rec));
   stats_.inc("flows_allocated");
   finish_pending(m.invoke_id, info);
 }
@@ -1466,15 +1464,13 @@ void FlowAllocator::send_release(flow::PortId port) {
   ++rec->release_attempts;
   self_.send_routed_mgmt(rec->peer, release_msg(*rec));
 
-  std::uint64_t epoch = rec->epoch;
-  std::weak_ptr<bool> alive = self_.alive_token_;
-  self_.sched().schedule_after(kReleaseRetry, [this, port, epoch, alive] {
-    auto a = alive.lock();
-    if (!a || !*a) return;
-    FlowRec* r = by_port(port);
-    // The epoch guard keeps a stale timer from touching a recycled port.
-    if (r != nullptr && r->epoch == epoch && r->closing) send_release(port);
-  });
+  // The retry timer dies with the record, so a recycled port-id can
+  // never be released by a stale timer.
+  rec->release_timer =
+      self_.sched().schedule_after(kReleaseRetry, [this, port] {
+        FlowRec* r = by_port(port);
+        if (r != nullptr && r->closing) send_release(port);
+      });
 }
 
 void FlowAllocator::on_flow_release(const efcp::Pci& pci,
@@ -1494,9 +1490,7 @@ void FlowAllocator::on_flow_release(const efcp::Pci& pci,
   ack.value = std::move(w).take();
   self_.send_routed_mgmt(pci.src, ack);
 
-  auto it = by_cep_.find(my_cep);
-  if (it == by_cep_.end()) return;
-  FlowRec* rec = by_port(it->second);
+  FlowRec* rec = by_cep(my_cep);
   if (rec == nullptr) return;
   // Only the flow's actual peer may release it; a forged release from
   // another member must not tear down someone else's flow.
@@ -1510,9 +1504,7 @@ void FlowAllocator::on_flow_release_ack(const efcp::Pci& pci,
   BufReader r(BytesView{m.value});
   efcp::CepId my_cep = r.get_u16();
   if (!r.ok()) return;
-  auto it = by_cep_.find(my_cep);
-  if (it == by_cep_.end()) return;
-  FlowRec* rec = by_port(it->second);
+  FlowRec* rec = by_cep(my_cep);
   if (rec == nullptr || !rec->closing) return;
   if (!(rec->peer == pci.src)) return;
   finish_close(*rec);
@@ -1529,8 +1521,9 @@ void FlowAllocator::finish_close(FlowRec& rec) {
   std::uint64_t key =
       (static_cast<std::uint64_t>(rec.peer.key()) << 16) | rec.remote_cep;
   remote_flow_index_.erase(key);
-  by_cep_.erase(rec.local_cep);
-  flows_.erase(rec.port);  // rec dies here
+  if (rec.local_cep < by_cep_.size()) by_cep_[rec.local_cep] = 0;
+  flows_[port].reset();  // rec dies here; its owned timers cancel with it
+  --flow_count_;
   self_.host_.release_port_id(port);
   // Fire the app hook after the record is gone, so a handler that
   // immediately allocates a new flow sees consistent allocator state.
@@ -1539,8 +1532,9 @@ void FlowAllocator::finish_close(FlowRec& rec) {
 
 void FlowAllocator::close_all(bool notify_peers) {
   std::vector<flow::PortId> ports;
-  ports.reserve(flows_.size());
-  for (const auto& [port, rec] : flows_) ports.push_back(port);
+  ports.reserve(flow_count_);
+  for (const auto& rec : flows_)
+    if (rec) ports.push_back(rec->port);
   for (flow::PortId port : ports) {
     FlowRec* rec = by_port(port);
     if (rec == nullptr) continue;

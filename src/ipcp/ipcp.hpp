@@ -64,7 +64,11 @@ class IpcpHost {
 /// Relaying and Multiplexing Task: the forwarding engine of one IPCP.
 class Rmt {
  public:
-  explicit Rmt(Ipcp& self) : self_(self) {}
+  explicit Rmt(Ipcp& self)
+      : self_(self),
+        c_pdus_out_(stats_.slot("pdus_out")),
+        c_relayed_(stats_.slot("relayed")),
+        c_rmt_queue_peak_(stats_.slot("rmt_queue_peak")) {}
 
   Stats& stats() { return stats_; }
   relay::ForwardingTable& fib() { return fib_; }
@@ -94,6 +98,11 @@ class Rmt {
   Ipcp& self_;
   relay::ForwardingTable fib_;
   Stats stats_;
+  // Per-PDU counter cells resolved once (Stats::slot): send/relay/egress
+  // run for every forwarded PDU and must not pay a string lookup each.
+  std::uint64_t* c_pdus_out_;
+  std::uint64_t* c_relayed_;
+  std::uint64_t* c_rmt_queue_peak_;
 };
 
 /// Enrollment: the only conversation a DIF will have with an outsider.
@@ -106,10 +115,12 @@ class Enrollment {
   friend class Ipcp;
   Ipcp& self_;
   Stats stats_;
-  // Joiner side: in-progress attempt.
+  // Joiner side: in-progress attempt. The owned timer is both the join
+  // timeout and the retry gap — re-arming or cancelling it supersedes
+  // any previous attempt, no epoch bookkeeping.
   std::optional<relay::PortIndex> join_port_;
   int attempts_ = 0;
-  std::uint64_t attempt_epoch_ = 0;
+  sim::Timer join_timer_;
   // Member side: deterministic challenge nonces.
   std::uint64_t nonce_counter_ = 0;
 };
@@ -118,6 +129,11 @@ class Enrollment {
 class FlowAllocator {
  public:
   explicit FlowAllocator(Ipcp& self) : self_(self) {}
+
+  /// Detach every app handle on teardown: a Flow that outlives its IPCP
+  /// sees writes fail as flow_closed instead of dereferencing freed
+  /// state. (Timers die with their owning records automatically.)
+  ~FlowAllocator();
 
   Stats& stats() { return stats_; }
 
@@ -174,8 +190,11 @@ class FlowAllocator {
     // Release FSM (initiator side).
     bool closing = false;
     int release_attempts = 0;
-    std::uint64_t epoch = 0;  // guards timers across port-id recycling
-    bool rmt_poll_armed = false;
+    // Owned timers: destroying the record (finish_close, teardown)
+    // cancels them, so recycled port-ids can never be confused for a
+    // stale timer's target.
+    sim::Timer release_timer;
+    sim::Timer rmt_poll_timer;
   };
 
   struct Pending {
@@ -186,9 +205,26 @@ class FlowAllocator {
     efcp::CepId local_cep = 0;
     SimTime deadline{};
     bool sent = false;
+    sim::Timer timer;  // directory retry / request resend; dies with us
   };
 
-  FlowRec* by_port(flow::PortId p);
+  FlowRec* by_port(flow::PortId p) {
+    return p < flows_.size() ? flows_[p].get() : nullptr;
+  }
+  /// CEP demultiplex for the per-PDU hot path: two vector indexes.
+  FlowRec* by_cep(efcp::CepId c) {
+    return c < by_cep_.size() ? by_port(by_cep_[c]) : nullptr;
+  }
+  void set_cep(efcp::CepId c, flow::PortId p) {
+    if (by_cep_.size() <= c) by_cep_.resize(static_cast<std::size_t>(c) + 1, 0);
+    by_cep_[c] = p;
+  }
+  void insert_rec(std::unique_ptr<FlowRec> rec) {
+    flow::PortId port = rec->port;
+    if (flows_.size() <= port) flows_.resize(static_cast<std::size_t>(port) + 1);
+    flows_[port] = std::move(rec);
+    ++flow_count_;
+  }
   [[nodiscard]] const flow::QosCube* find_cube(const flow::QosSpec& spec) const;
   void try_pending(std::uint32_t invoke_id);
   void finish_pending(std::uint32_t invoke_id, Result<flow::FlowInfo> r);
@@ -207,13 +243,16 @@ class FlowAllocator {
   Ipcp& self_;
   Stats stats_;
   std::map<naming::AppName, flow::AcceptFn> apps_;
-  std::map<flow::PortId, std::unique_ptr<FlowRec>> flows_;
-  std::map<efcp::CepId, flow::PortId> by_cep_;
+  // Hot-path flow lookup is dense: flows_ is indexed by port-id (the
+  // host hands them out low-first and recycles), by_cep_ by local CEP-id
+  // (sequential, 0 = unused). Both replace per-PDU map walks.
+  std::vector<std::unique_ptr<FlowRec>> flows_;
+  std::vector<flow::PortId> by_cep_;
+  std::size_t flow_count_ = 0;
   std::map<std::uint64_t, flow::PortId> remote_flow_index_;  // (peer, cep)
   std::map<std::uint32_t, Pending> pending_;
   std::uint32_t next_invoke_ = 1;
   efcp::CepId next_cep_ = 1;
-  std::uint64_t next_epoch_ = 1;
 };
 
 class Ipcp {
@@ -284,7 +323,8 @@ class Ipcp {
     bool hello_sent = false;
     naming::Address peer;
     relay::EgressQueues queue;  // per-QoS bounded RMT egress above the NIC
-    bool drain_scheduled = false;
+    sim::Timer hello_timer;     // Hello re-announce while unanswered
+    sim::Timer drain_timer;     // backpressure retry for queue drain
     SimTime last_heard{};
     std::optional<std::uint64_t> join_nonce;  // member side of psk handshake
   };
@@ -348,6 +388,13 @@ class Ipcp {
   naming::Directory dir_;
   rib::Rib rib_;
   Stats stats_;
+  // Per-mgmt-PDU counter cells (Stats::slot): send_mgmt classifies every
+  // keepalive/hello/LSU it emits, which at scale is the busiest non-data
+  // path in the node.
+  std::uint64_t* c_hellos_sent_ = nullptr;
+  std::uint64_t* c_keepalives_sent_ = nullptr;
+  std::uint64_t* c_lsus_flooded_ = nullptr;
+  std::uint64_t* c_riep_sent_ = nullptr;
 
   Rmt rmt_;
   FlowAllocator fa_;
@@ -360,11 +407,13 @@ class Ipcp {
   std::set<std::uint64_t> dir_flood_seen_;
   std::uint64_t dir_seq_ = 0;
   std::vector<naming::Address> last_neighbor_set_;
-  bool lsu_scheduled_ = false;
-  bool spf_scheduled_ = false;
-  bool keepalive_running_ = false;
 
-  std::shared_ptr<bool> alive_token_;
+  // Owned timers replace the scheduled/alive-token flags: armed() is the
+  // "already scheduled" test and destruction is the cancellation.
+  sim::Timer lsu_timer_;
+  sim::Timer spf_timer_;
+  sim::Timer keepalive_timer_;               // periodic while enrolled
+  std::vector<sim::Timer> announce_timers_;  // staggered app re-announces
 };
 
 }  // namespace rina::ipcp

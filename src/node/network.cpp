@@ -102,11 +102,17 @@ flow::Flow Node::allocate_flow(const naming::AppName& local,
   // requested service class. Directory entries may still be propagating,
   // so poll with a deadline.
   SimTime deadline = sched().now() + SimTime::from_sec(8);
-  auto attempt = std::make_shared<std::function<void()>>();
-  // The closure holds only a weak self-reference (a strong one would be a
-  // shared_ptr cycle); each scheduled retry owns the strong reference.
-  std::weak_ptr<std::function<void()>> weak_attempt = attempt;
-  *attempt = [this, local, remote, spec, sh, deadline, weak_attempt] {
+  // Retry state: the step closure plus the timer that re-runs it. The
+  // step holds only a weak self-reference (a strong one would be a
+  // shared_ptr cycle); each scheduled retry owns the strong reference,
+  // so the state dies when the last pending retry fires or is torn down.
+  struct Retry {
+    std::function<void()> step;
+    sim::Timer timer;
+  };
+  auto attempt = std::make_shared<Retry>();
+  std::weak_ptr<Retry> weak_attempt = attempt;
+  attempt->step = [this, local, remote, spec, sh, deadline, weak_attempt] {
     if (sh->state != flow::FlowState::allocating) return;  // app cancelled
     bool resolved_somewhere = false;
     bool any_satisfies = false;
@@ -140,9 +146,10 @@ flow::Flow Node::allocate_flow(const naming::AppName& local,
     }
     auto self = weak_attempt.lock();
     if (self)
-      sched().schedule_after(SimTime::from_ms(100), [self] { (*self)(); });
+      self->timer = sched().schedule_after(SimTime::from_ms(100),
+                                           [self] { self->step(); });
   };
-  (*attempt)();
+  attempt->step();
   return flow::Flow(sh);
 }
 
@@ -220,10 +227,10 @@ sim::Link& Network::add_link(const std::string& a, const std::string& b,
       BufReader r(frame.view());
       std::uint32_t dif_id = r.get_u32();
       if (!r.ok()) return;
-      auto it = raw->attach[side].find(dif_id);
-      if (it == raw->attach[side].end()) return;
+      Attach* at = raw->find_attach_side(side, dif_id);
+      if (at == nullptr) return;
       frame.pull(4);
-      it->second.proc->on_port_frame(it->second.idx, std::move(frame));
+      at->proc->on_port_frame(at->idx, std::move(frame));
     });
     ep.set_on_carrier([raw, side](bool up) {
       for (auto& [id, at] : raw->attach[side]) at.proc->set_port_carrier(at.idx, up);
@@ -276,7 +283,7 @@ relay::PortIndex Network::wire_port(LinkRec& rec, int side, ipcp::Ipcp& proc) {
   };
   relay::PortIndex idx = proc.add_port(std::move(init));
   if (!rec.link->up()) proc.set_port_carrier(idx, false);
-  rec.attach[side][dif_id] = Attach{&proc, idx};
+  rec.set_attach(side, dif_id, Attach{&proc, idx});
   return idx;
 }
 
@@ -293,7 +300,8 @@ Network::LinkRec* Network::find_unwired_link(const std::string& a,
     } else {
       continue;
     }
-    if (rec->attach[0].count(dif_id) != 0 || rec->attach[1].count(dif_id) != 0)
+    if (rec->find_attach_side(0, dif_id) != nullptr ||
+        rec->find_attach_side(1, dif_id) != nullptr)
       continue;
     *side_of_a = side;
     return rec.get();
@@ -313,8 +321,8 @@ Network::Attach* Network::find_attach(const std::string& node_name,
     } else {
       continue;
     }
-    auto it = rec->attach[side].find(dif_id);
-    if (it != rec->attach[side].end()) return &it->second;
+    if (Attach* at = rec->find_attach_side(side, dif_id); at != nullptr)
+      return at;
   }
   return nullptr;
 }
@@ -347,7 +355,7 @@ Result<void> Network::build_link_dif(DifSpec spec) {
   std::set<std::string> member_set(spec.members.begin(), spec.members.end());
   for (auto& rec : links_) {
     if (member_set.count(rec->a) == 0 || member_set.count(rec->b) == 0) continue;
-    if (rec->attach[0].count(entry.id) != 0) continue;
+    if (rec->find_attach_side(0, entry.id) != nullptr) continue;
     auto* pa = node(rec->a).ipcp(spec.cfg.name);
     auto* pb = node(rec->b).ipcp(spec.cfg.name);
     relay::PortIndex ia = wire_port(*rec, 0, *pa);
@@ -578,6 +586,12 @@ std::uint64_t Network::sum_dif_counter(const naming::DifName& dif,
     auto* proc = n->ipcp(dif);
     if (proc != nullptr) total += proc->counter_sum(counter);
   }
+  return total;
+}
+
+std::uint64_t Network::sum_link_counter(const std::string& counter) const {
+  std::uint64_t total = 0;
+  for (const auto& rec : links_) total += rec->link->stats().get(counter);
   return total;
 }
 

@@ -201,6 +201,10 @@ class Network {
   std::uint64_t sum_dif_counter(const naming::DifName& dif,
                                 const std::string& counter);
 
+  /// Sum a named counter over every link in one pass (benches at 10k+
+  /// links must not walk link_between's O(L) lookup per pair).
+  std::uint64_t sum_link_counter(const std::string& counter) const;
+
   /// Max of a named counter over every member IPCP of `dif` — for
   /// high-water gauges like "rmt_queue_peak", where summing across
   /// members would be meaningless.
@@ -221,8 +225,28 @@ class Network {
     std::unique_ptr<sim::Link> link;
     std::string a, b;
     // Per-side DIF attachments; the NIC demultiplexes on the frame's
-    // dif-id prefix.
-    std::map<std::uint32_t, Attach> attach[2];
+    // dif-id prefix. A wire carries one or two DIFs in practice, so a
+    // flat vector kept sorted by dif-id (same iteration order the old
+    // map gave) beats a map node walk on the per-frame demux path.
+    std::vector<std::pair<std::uint32_t, Attach>> attach[2];
+
+    [[nodiscard]] Attach* find_attach_side(int side, std::uint32_t dif_id) {
+      for (auto& [id, at] : attach[side])
+        if (id == dif_id) return &at;
+      return nullptr;
+    }
+    void set_attach(int side, std::uint32_t dif_id, Attach at) {
+      auto& v = attach[side];
+      std::size_t i = 0;
+      for (; i < v.size(); ++i) {
+        if (v[i].first == dif_id) {
+          v[i].second = at;
+          return;
+        }
+        if (v[i].first > dif_id) break;
+      }
+      v.insert(v.begin() + static_cast<std::ptrdiff_t>(i), {dif_id, at});
+    }
   };
   struct DifEntry {
     dif::DifConfig cfg;

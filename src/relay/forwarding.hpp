@@ -74,7 +74,7 @@ class EgressQueues {
 
   /// Account a tail-drop of class `prio` (no per-drop allocation).
   void note_drop(std::uint8_t prio) {
-    ++drops_[cls(prio)];
+    ++klass(cls(prio)).drops;
     ++total_drops_;
   }
 
@@ -82,12 +82,12 @@ class EgressQueues {
   /// full and the frame was NOT consumed; the drop is accounted here
   /// per class.
   [[nodiscard]] bool push(std::uint8_t prio, Packet& frame) {
-    auto& q = classes_[cls(prio)];
-    if (q.size() >= cfg_.capacity_pdus) {
+    ClassQ& k = klass(cls(prio));
+    if (k.q.size() >= cfg_.capacity_pdus) {
       note_drop(prio);
       return false;
     }
-    q.push_back(EgressFrame{prio, std::move(frame)});
+    k.q.push_back(EgressFrame{prio, std::move(frame)});
     ++total_;
     if (total_ > peak_) peak_ = total_;
     return true;
@@ -95,8 +95,8 @@ class EgressQueues {
 
   /// Tail-drop accounting, per class and total.
   [[nodiscard]] std::uint64_t drops(std::uint8_t prio) const {
-    auto it = drops_.find(cls(prio));
-    return it == drops_.end() ? 0 : it->second;
+    const ClassQ* k = find(cls(prio));
+    return k == nullptr ? 0 : k->drops;
   }
   [[nodiscard]] std::uint64_t total_drops() const { return total_drops_; }
 
@@ -105,37 +105,64 @@ class EgressQueues {
   /// High-water mark of the total queued depth since construction.
   [[nodiscard]] std::size_t peak() const { return peak_; }
   [[nodiscard]] std::size_t depth(std::uint8_t prio) const {
-    auto it = classes_.find(cls(prio));
-    return it == classes_.end() ? 0 : it->second.size();
+    const ClassQ* k = find(cls(prio));
+    return k == nullptr ? 0 : k->q.size();
   }
 
   /// Next frame per the discipline: the most urgent non-empty class
-  /// (classes_ is ordered by class value), FIFO within a class.
+  /// (classes_ is sorted by class value), FIFO within a class.
   /// Precondition: !empty().
   [[nodiscard]] EgressFrame& front() {
-    for (auto& [c, q] : classes_)
-      if (!q.empty()) return q.front();
+    for (ClassQ& k : classes_)
+      if (!k.q.empty()) return k.q.front();
     static EgressFrame dummy;  // unreachable when the precondition holds
     return dummy;
   }
 
   void pop() {
-    for (auto it = classes_.begin(); it != classes_.end(); ++it) {
-      if (it->second.empty()) continue;
-      it->second.pop_front();
+    for (ClassQ& k : classes_) {
+      if (k.q.empty()) continue;
+      k.q.pop_front();
       --total_;
-      if (it->second.empty()) classes_.erase(it);
       return;
     }
   }
 
  private:
+  /// Per-class queue + drop counter. A DIF uses a handful of QoS classes
+  /// (one under fifo), so the class set is a small sorted vector scanned
+  /// linearly — cheaper than a map node walk on the per-PDU path, and
+  /// entries persist once created (stable drop counters, no churn).
+  struct ClassQ {
+    std::uint8_t cls = 0;
+    std::deque<EgressFrame> q;
+    std::uint64_t drops = 0;
+  };
+
   [[nodiscard]] std::uint8_t cls(std::uint8_t prio) const {
     return cfg_.sched == RmtSched::fifo ? 0 : prio;
   }
 
-  std::map<std::uint8_t, std::deque<EgressFrame>> classes_;
-  std::map<std::uint8_t, std::uint64_t> drops_;
+  [[nodiscard]] const ClassQ* find(std::uint8_t c) const {
+    for (const ClassQ& k : classes_)
+      if (k.cls == c) return &k;
+    return nullptr;
+  }
+
+  [[nodiscard]] ClassQ& klass(std::uint8_t c) {
+    std::size_t i = 0;
+    for (; i < classes_.size(); ++i) {
+      if (classes_[i].cls == c) return classes_[i];
+      if (classes_[i].cls > c) break;
+    }
+    ClassQ k;
+    k.cls = c;
+    classes_.insert(classes_.begin() + static_cast<std::ptrdiff_t>(i),
+                    std::move(k));
+    return classes_[i];
+  }
+
+  std::vector<ClassQ> classes_;  // sorted by cls; most urgent first
   std::uint64_t total_drops_ = 0;
   std::size_t total_ = 0;
   std::size_t peak_ = 0;
@@ -148,35 +175,71 @@ class ForwardingTable {
 
   void set_next_hops(naming::Address dest, std::vector<naming::Address> hops) {
     next_hops_[dest] = std::move(hops);
+    memo_hops_ = nullptr;
+    memo_ports_ = nullptr;
   }
 
   void set_neighbor_ports(naming::Address neighbor, std::vector<PortIndex> ports) {
     neighbor_ports_[neighbor] = std::move(ports);
+    memo_hops_ = nullptr;
+    memo_ports_ = nullptr;
   }
 
   void set_poa_policy(PoaPolicy p) { policy_ = p; }
   [[nodiscard]] PoaPolicy poa_policy() const { return policy_; }
 
-  void clear_routes() { next_hops_.clear(); }
+  void clear_routes() {
+    next_hops_.clear();
+    memo_hops_ = nullptr;
+    memo_ports_ = nullptr;
+  }
   void clear() {
     next_hops_.clear();
     neighbor_ports_.clear();
+    memo_hops_ = nullptr;
+    memo_ports_ = nullptr;
   }
 
   [[nodiscard]] std::size_t entry_count() const { return next_hops_.size(); }
 
   /// Two-step lookup: pick a next-hop node for `dest` (falling back to the
   /// region-wildcard entry if the DIF aggregates), then bind to a live
-  /// port toward it. `up` reports current port liveness.
+  /// port toward it. `up` reports current port liveness. Templated on the
+  /// filter so per-PDU callers pass a raw lambda and the liveness probe
+  /// inlines — this runs for every routed PDU and every writability poll.
+  template <typename UpFn>
   [[nodiscard]] std::optional<PortIndex> lookup(naming::Address dest,
-                                                const PortUpFn& up) const {
-    const std::vector<naming::Address>* hops = find_hops(dest);
-    if (hops == nullptr) hops = find_hops(dest.region_wildcard());
-    if (hops == nullptr) return std::nullopt;
+                                                const UpFn& up) const {
+    // One-entry memo: per-PDU traffic overwhelmingly resolves the same
+    // destination back to back (a host talks to one peer; a relay's
+    // transit flows converge on a few next hops), so remembering the
+    // last map resolution skips both tree walks on the hot path. The
+    // memo caches only the dest -> hops binding — port liveness and
+    // round-robin state are still evaluated fresh per call — and every
+    // table mutation drops it, so results are bit-identical.
+    const std::vector<naming::Address>* hops;
+    if (memo_hops_ != nullptr && memo_dest_ == dest) {
+      hops = memo_hops_;
+    } else {
+      hops = find_hops(dest);
+      if (hops == nullptr) hops = find_hops(dest.region_wildcard());
+      if (hops == nullptr) return std::nullopt;
+      memo_dest_ = dest;
+      memo_hops_ = hops;
+      memo_ports_ = nullptr;
+    }
     for (const naming::Address& nh : *hops) {
-      auto pit = neighbor_ports_.find(nh);
-      if (pit == neighbor_ports_.end() || pit->second.empty()) continue;
-      const auto& ports = pit->second;
+      const std::vector<PortIndex>* pv;
+      if (memo_ports_ != nullptr && memo_nh_ == nh) {
+        pv = memo_ports_;
+      } else {
+        auto pit = neighbor_ports_.find(nh);
+        pv = pit == neighbor_ports_.end() ? nullptr : &pit->second;
+        memo_nh_ = nh;
+        memo_ports_ = pv;
+      }
+      if (pv == nullptr || pv->empty()) continue;
+      const auto& ports = *pv;
       if (policy_ == PoaPolicy::round_robin) {
         std::size_t n = ports.size();
         std::size_t& rr = rr_state_[nh];
@@ -211,6 +274,12 @@ class ForwardingTable {
   std::map<naming::Address, std::vector<PortIndex>> neighbor_ports_;
   PoaPolicy policy_ = PoaPolicy::first_up;
   mutable std::map<naming::Address, std::size_t> rr_state_;
+  // lookup()'s one-entry memo (see there). Pointers into the maps above
+  // stay valid until a mutating call, which nulls them.
+  mutable naming::Address memo_dest_{};
+  mutable const std::vector<naming::Address>* memo_hops_ = nullptr;
+  mutable naming::Address memo_nh_{};
+  mutable const std::vector<PortIndex>* memo_ports_ = nullptr;
 };
 
 }  // namespace rina::relay

@@ -1,13 +1,50 @@
-// scheduler.hpp — deterministic discrete-event loop.
+// scheduler.hpp — deterministic discrete-event loop on a hierarchical
+// timing wheel.
 //
-// One binary heap of (time, insertion seq, closure). Ties break on
-// insertion order, so a run is a pure function of the event program and the
+// The event store is a 4-level × 256-slot hashed timing wheel (tick
+// granularity 2^10 ns ≈ 1 µs, total span ≈ 73 minutes) with a sorted
+// overflow list for farther-future events. Events whose tick the wheel
+// cursor has reached sit in a small binary heap ("due heap") keyed by
+// their exact (time, insertion seq), so the firing order is *identical*
+// to the classic single-heap scheduler: earliest time first, ties break
+// on insertion order, and sub-tick time differences still order
+// correctly. A run stays a pure function of the event program and the
 // seeds — the property every bench leans on for reproducible tables.
+//
+// What the wheel buys over the single heap:
+//   - schedule is O(1) (slot append) instead of O(log n);
+//   - cancel is O(1) (unlink from a doubly-linked slot chain) instead of
+//     impossible — which is the API story: schedule_* returns a
+//     move-only `Timer` handle that cancels on destruction, can
+//     `rearm()` in place without reallocating its closure, and makes the
+//     weak-alive-token capture-and-check idiom obsolete;
+//   - idle regions are skipped via per-level occupancy bitmaps rather
+//     than popped one heap node at a time.
+//
+// Timer handle contract (see README for the prose version):
+//   - `Timer t = sched.schedule_after(d, fn)` — owns the pending event.
+//     Destroying or assigning over `t` cancels it; `t.cancel()` is O(1)
+//     and idempotent; `t.rearm(d)` / `t.rearm_at(tp)` retarget a
+//     still-armed timer reusing its stored closure (no allocation).
+//   - After the event fires, the handle is stale: armed() is false and
+//     cancel()/rearm() are no-ops. Re-arming from inside the callback is
+//     done by assigning the member handle a fresh schedule_* result (the
+//     fired node was already released, so no self-cancel hazard).
+//   - `periodic(interval, fn)` refires every interval until the handle
+//     is cancelled/destroyed; cancelling from inside the callback stops
+//     the series. rearm() of a periodic mid-callback is rejected.
+//   - `post_at/post_after` are fire-and-forget (no handle, not
+//     cancellable) for events whose lifetime provably exceeds the
+//     scheduler call — sim-internal plumbing and tests.
+//   - Handles may outlive the Scheduler only during its destruction
+//     (members of the same Network torn down after it schedule-wise);
+//     a tearing_down flag makes their destructors no-ops then.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -15,86 +52,599 @@
 
 namespace rina::sim {
 
+class Scheduler;
+
+/// Move-only handle to a pending event. Destruction cancels. See the
+/// contract in the file header.
+class Timer {
+ public:
+  Timer() = default;
+  Timer(Timer&& o) noexcept : sched_(o.sched_), node_(o.node_), gen_(o.gen_) {
+    o.sched_ = nullptr;
+  }
+  Timer& operator=(Timer&& o) noexcept {
+    if (this != &o) {
+      cancel();
+      sched_ = o.sched_;
+      node_ = o.node_;
+      gen_ = o.gen_;
+      o.sched_ = nullptr;
+    }
+    return *this;
+  }
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  inline void cancel();
+  [[nodiscard]] inline bool armed() const;
+  /// Retarget a still-armed timer to now+delay (resp. absolute t),
+  /// reusing the stored closure. Returns false (and does nothing) if the
+  /// timer already fired, was cancelled, or is mid-callback.
+  inline bool rearm(SimTime delay);
+  inline bool rearm_at(SimTime t);
+
+ private:
+  friend class Scheduler;
+  Timer(Scheduler* s, std::uint32_t node, std::uint32_t gen)
+      : sched_(s), node_(node), gen_(gen) {}
+
+  Scheduler* sched_ = nullptr;
+  std::uint32_t node_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
 class Scheduler {
  public:
   using Fn = std::function<void()>;
 
+  Scheduler() {
+    for (auto& level : slots_)
+      for (auto& head : level) head = kNil;
+  }
+  ~Scheduler() { tearing_down_ = true; }
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  void schedule_at(SimTime t, Fn fn) {
-    if (t < now_) t = now_;
-    heap_.push_back(Event{t, seq_++, std::move(fn)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  /// One-shot at absolute time t (clamped to now). The returned handle
+  /// owns the event; discarding it cancels immediately.
+  [[nodiscard]] Timer schedule_at(SimTime t, Fn fn) {
+    std::uint32_t i = new_node(clamp(t), 0, std::move(fn), /*detached=*/false);
+    place(i);
+    return Timer{this, i, pool_[i].gen};
   }
 
-  void schedule_after(SimTime delay, Fn fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  [[nodiscard]] Timer schedule_after(SimTime delay, Fn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Run until the event queue drains.
+  /// Refires every `interval` (first firing at now+interval) until the
+  /// handle is cancelled. The closure is stored once and reused.
+  [[nodiscard]] Timer periodic(SimTime interval, Fn fn) {
+    std::int64_t iv = interval.ns > 0 ? interval.ns : 1;
+    std::uint32_t i =
+        new_node(clamp(now_ + interval), iv, std::move(fn), /*detached=*/false);
+    place(i);
+    return Timer{this, i, pool_[i].gen};
+  }
+
+  /// Fire-and-forget: no handle, not cancellable. For events that are
+  /// safe to run regardless of object lifetimes.
+  void post_at(SimTime t, Fn fn) {
+    place(new_node(clamp(t), 0, std::move(fn), /*detached=*/true));
+  }
+  void post_after(SimTime delay, Fn fn) { post_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the event queue drains. (Never returns while a periodic
+  /// timer is armed.)
   void run() {
-    while (step()) {
+    while (fire_next(SimTime{kMaxNs})) {
     }
   }
 
-  /// Run all events with time <= t, then advance now to t.
+  /// Run all events with time <= t, then advance now to t. A drained
+  /// queue still leaves now() == t, consistent with run_for.
   void run_until(SimTime t) {
-    while (!heap_.empty() && heap_.front().time <= t) step();
+    while (fire_next(t)) {
+    }
     if (now_ < t) now_ = t;
   }
 
   void run_for(SimTime d) { run_until(now_ + d); }
 
   /// Run events until `pred()` holds or the clock would pass `deadline`.
-  /// Returns pred()'s final value. Checks pred between events, so it fires
-  /// as soon as the enabling event has run.
+  /// Returns pred()'s final value. pred can only change when an event
+  /// runs, so it is evaluated once on entry and then only after each
+  /// fired event — the executed-event count is the dirty tick; idle
+  /// clock advances never re-evaluate it.
   template <typename Pred>
   bool run_until_pred(Pred&& pred, SimTime deadline) {
-    for (;;) {
+    if (pred()) return true;
+    while (fire_next(deadline)) {
       if (pred()) return true;
-      if (heap_.empty() || heap_.front().time > deadline) {
-        if (now_ < deadline) now_ = deadline;
-        return pred();
-      }
-      step();
     }
+    if (now_ < deadline) now_ = deadline;
+    return pred();
   }
 
   /// Pop and run the next event. False if the queue is empty.
-  bool step() {
-    if (heap_.empty()) return false;
-    // pop_heap moves the earliest event to the back, where it can be
-    // moved out legitimately before running (the handler may schedule).
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    if (now_ < ev.time) now_ = ev.time;
-    ev.fn();
-    return true;
+  bool step() { return fire_next(SimTime{kMaxNs}); }
+
+  /// Count of armed events (all levels + overflow + due).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return wheel_live_ + overflow_live_ + due_live_;
   }
 
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Total events fired since construction — the dirty tick callers can
+  /// compare across calls to detect "did anything run".
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
+  friend class Timer;
+
+  static constexpr int kGranularityShift = 10;  // 1 tick = 1024 ns
+  static constexpr int kLevelShift = 8;         // 256 slots per level
+  static constexpr int kLevels = 4;
+  static constexpr std::uint32_t kSlots = 1u << kLevelShift;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::int64_t kMaxNs = INT64_MAX;
+
+  enum class State : std::uint8_t { free, armed, dead };
+  enum class Loc : std::uint8_t { none, wheel, overflow, due, executing };
+
+  struct Node {
+    SimTime time{};
+    std::uint64_t seq = 0;
+    std::int64_t interval_ns = 0;  // > 0: periodic
+    std::uint32_t next = kNil;     // wheel slot chain (doubly linked)
+    std::uint32_t prev = kNil;
+    std::uint32_t gen = 0;
+    std::uint8_t level = 0;
+    std::uint8_t slot = 0;
+    State state = State::free;
+    Loc loc = Loc::none;
+    bool detached = false;  // post_*: no handle will ever cancel it
     Fn fn;
   };
 
-  /// Heap comparator: the *earliest* (time, insertion seq) wins, so with
-  /// std::push_heap/pop_heap — which surface the comparator's maximum —
-  /// "greater" means "fires later".
+  struct DueEnt {
+    std::int64_t ns;
+    std::uint64_t seq;
+    std::uint32_t idx;
+    std::uint32_t gen;
+  };
+  /// Max-heap comparator surfacing the *earliest* (time, seq) — same
+  /// tie-break contract as the old single heap.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time.ns != b.time.ns) return a.time.ns > b.time.ns;
+    bool operator()(const DueEnt& a, const DueEnt& b) const noexcept {
+      if (a.ns != b.ns) return a.ns > b.ns;
       return a.seq > b.seq;
     }
   };
 
-  std::vector<Event> heap_;
+  SimTime clamp(SimTime t) const noexcept { return t < now_ ? now_ : t; }
+
+  static std::uint64_t tick_of(SimTime t) noexcept {
+    return static_cast<std::uint64_t>(t.ns) >> kGranularityShift;
+  }
+
+  std::uint32_t new_node(SimTime t, std::int64_t interval, Fn fn,
+                         bool detached) {
+    std::uint32_t i;
+    if (!free_.empty()) {
+      i = free_.back();
+      free_.pop_back();
+    } else {
+      i = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    Node& n = pool_[i];
+    n.time = t;
+    n.seq = seq_++;
+    n.interval_ns = interval;
+    n.state = State::armed;
+    n.loc = Loc::none;
+    n.detached = detached;
+    n.fn = std::move(fn);
+    return i;
+  }
+
+  void free_node(std::uint32_t i) {
+    Node& n = pool_[i];
+    n.fn = nullptr;
+    n.state = State::free;
+    n.loc = Loc::none;
+    ++n.gen;  // invalidate any outstanding handle / due entry
+    free_.push_back(i);
+  }
+
+  /// File an armed node into due heap, wheel, or overflow, by its tick's
+  /// relation to the wheel cursor. The level is the highest 8-bit digit
+  /// in which the tick differs from the cursor, so a slot only ever
+  /// holds ticks of one wheel revolution and harvesting a level-0 slot
+  /// takes everything in it.
+  void place(std::uint32_t i) {
+    Node& n = pool_[i];
+    std::uint64_t tk = tick_of(n.time);
+    if (tk <= tick_) {
+      n.loc = Loc::due;
+      ++due_live_;
+      due_.push_back(DueEnt{n.time.ns, n.seq, i, n.gen});
+      std::push_heap(due_.begin(), due_.end(), Later{});
+      return;
+    }
+    std::uint64_t diff = tk ^ tick_;
+    int level;
+    if ((diff >> kLevelShift) == 0)
+      level = 0;
+    else if ((diff >> (2 * kLevelShift)) == 0)
+      level = 1;
+    else if ((diff >> (3 * kLevelShift)) == 0)
+      level = 2;
+    else if ((diff >> (4 * kLevelShift)) == 0)
+      level = 3;
+    else {
+      n.loc = Loc::overflow;
+      ++overflow_live_;
+      overflow_.emplace(n.time.ns, i);
+      return;
+    }
+    auto slot =
+        static_cast<std::uint32_t>((tk >> (level * kLevelShift)) & (kSlots - 1));
+    n.loc = Loc::wheel;
+    n.level = static_cast<std::uint8_t>(level);
+    n.slot = static_cast<std::uint8_t>(slot);
+    n.prev = kNil;
+    n.next = slots_[level][slot];
+    if (n.next != kNil) pool_[n.next].prev = i;
+    slots_[level][slot] = i;
+    bitmap_[level][slot >> 6] |= 1ull << (slot & 63);
+    ++wheel_live_;
+  }
+
+  void unlink(std::uint32_t i) {
+    Node& n = pool_[i];
+    if (n.prev != kNil)
+      pool_[n.prev].next = n.next;
+    else
+      slots_[n.level][n.slot] = n.next;
+    if (n.next != kNil) pool_[n.next].prev = n.prev;
+    if (slots_[n.level][n.slot] == kNil)
+      bitmap_[n.level][n.slot >> 6] &= ~(1ull << (n.slot & 63));
+    n.prev = n.next = kNil;
+  }
+
+  /// First occupied slot index >= from at `level`, or -1.
+  int next_occupied(int level, std::uint32_t from) const {
+    if (from >= kSlots) return -1;
+    std::uint32_t word = from >> 6;
+    std::uint64_t bits = bitmap_[level][word] & (~0ull << (from & 63));
+    for (;;) {
+      if (bits != 0)
+        return static_cast<int>((word << 6) +
+                                static_cast<std::uint32_t>(__builtin_ctzll(bits)));
+      if (++word >= kSlots / 64) return -1;
+      bits = bitmap_[level][word];
+    }
+  }
+
+  /// Move every node of level-0 slot s into the due heap. Appends the
+  /// whole chain first and heapifies once: a slot often holds a batch of
+  /// same-tick events (aligned periodic timers), and n appends + one
+  /// O(n) make_heap beat n O(log n) sifts. Pop order is unaffected —
+  /// (ns, seq) is a total order, so every pop yields the unique minimum
+  /// regardless of the heap's internal layout.
+  void harvest(std::uint32_t s) {
+    std::uint32_t i = slots_[0][s];
+    slots_[0][s] = kNil;
+    bitmap_[0][s >> 6] &= ~(1ull << (s & 63));
+    std::size_t appended = 0;
+    while (i != kNil) {
+      Node& n = pool_[i];
+      std::uint32_t next = n.next;
+      n.prev = n.next = kNil;
+      --wheel_live_;
+      n.loc = Loc::due;
+      ++due_live_;
+      due_.push_back(DueEnt{n.time.ns, n.seq, i, n.gen});
+      ++appended;
+      i = next;
+    }
+    if (appended == 1)
+      std::push_heap(due_.begin(), due_.end(), Later{});
+    else if (appended > 1)
+      std::make_heap(due_.begin(), due_.end(), Later{});
+  }
+
+  /// Redistribute a level>=1 slot downward after the cursor entered its
+  /// span. Nodes re-place by the (advanced) cursor: lower level or due.
+  void cascade(int level, std::uint32_t s) {
+    std::uint32_t i = slots_[level][s];
+    slots_[level][s] = kNil;
+    bitmap_[level][s >> 6] &= ~(1ull << (s & 63));
+    while (i != kNil) {
+      std::uint32_t next = pool_[i].next;
+      pool_[i].prev = pool_[i].next = kNil;
+      --wheel_live_;
+      place(i);
+      i = next;
+    }
+  }
+
+  /// Pull overflow entries whose tick entered the wheel's current span.
+  void pull_overflow() {
+    while (!overflow_.empty()) {
+      auto it = overflow_.begin();
+      std::uint32_t i = it->second;
+      Node& n = pool_[i];
+      if (n.state == State::dead) {  // cancelled while parked here
+        overflow_.erase(it);
+        free_node(i);
+        continue;
+      }
+      std::uint64_t tk = tick_of(n.time);
+      if (tk > tick_ && ((tk ^ tick_) >> (kLevels * kLevelShift)) != 0) return;
+      overflow_.erase(it);
+      --overflow_live_;
+      place(i);
+    }
+  }
+
+  /// Drop cancelled shells off the top of the due heap.
+  void prune_due() {
+    while (!due_.empty()) {
+      // Copy, not reference: pop_heap moves another entry into front()
+      // and a reference would silently retarget mid-iteration.
+      DueEnt e = due_.front();
+      Node& n = pool_[e.idx];
+      if (n.gen == e.gen && n.state == State::armed && n.loc == Loc::due) return;
+      std::pop_heap(due_.begin(), due_.end(), Later{});
+      due_.pop_back();
+      if (n.gen == e.gen && n.state == State::dead) free_node(e.idx);
+    }
+  }
+
+  /// Advance the wheel cursor (never past limit_tk) until the due heap
+  /// holds a live event, skipping empty regions via the bitmaps.
+  /// Returns false when nothing with tick <= limit_tk exists.
+  bool refill_due(std::uint64_t limit_tk) {
+    for (;;) {
+      pull_overflow();
+      if (wheel_live_ == 0) {
+        // Only (possibly) far-future overflow left: jump the cursor.
+        if (overflow_live_ == 0) {
+          if (tick_ < limit_tk) tick_ = limit_tk;
+          return false;
+        }
+        prune_overflow_head();
+        if (overflow_live_ == 0) continue;
+        std::uint64_t otk = tick_of(pool_[overflow_.begin()->second].time);
+        if (otk > limit_tk) {
+          if (tick_ < limit_tk) tick_ = limit_tk;
+          return false;
+        }
+        tick_ = otk;
+        pull_overflow();
+        if (due_live_ > 0) return true;
+        continue;
+      }
+      // The cursor may already sit at/past this call's limit (a previous
+      // run advanced it further): everything in the wheel has tick >
+      // tick_ >= limit_tk, so nothing can be due and the cursor must not
+      // move backward.
+      if (tick_ >= limit_tk) return false;
+      int s0 = next_occupied(0, static_cast<std::uint32_t>(tick_ & (kSlots - 1)));
+      if (s0 >= 0) {
+        std::uint64_t cand = (tick_ & ~std::uint64_t{kSlots - 1}) |
+                             static_cast<std::uint64_t>(s0);
+        if (cand > limit_tk) {
+          tick_ = limit_tk;
+          return false;
+        }
+        tick_ = cand;
+        harvest(static_cast<std::uint32_t>(s0));
+        if (due_live_ > 0) return true;
+        continue;
+      }
+      // Level-0 window exhausted: find the next occupied higher-level
+      // slot, move the cursor to the *start* of its span, cascade it,
+      // and retry at level 0.
+      bool advanced = false;
+      for (int level = 1; level < kLevels; ++level) {
+        std::uint32_t cur = static_cast<std::uint32_t>(
+            (tick_ >> (level * kLevelShift)) & (kSlots - 1));
+        int s = next_occupied(level, cur + 1);
+        if (s < 0) continue;
+        std::uint64_t span = std::uint64_t{1} << (level * kLevelShift);
+        std::uint64_t base = tick_ >> ((level + 1) * kLevelShift)
+                                 << ((level + 1) * kLevelShift);
+        std::uint64_t cand = base + static_cast<std::uint64_t>(s) * span;
+        if (cand > limit_tk) {
+          tick_ = limit_tk;
+          return false;
+        }
+        tick_ = cand;
+        cascade(level, static_cast<std::uint32_t>(s));
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        // wheel_live_ > 0 yet nothing ahead at any level can only mean
+        // the live nodes sit beyond this wheel revolution's bookkeeping
+        // — unreachable by construction; stop at the limit defensively.
+        if (tick_ < limit_tk) tick_ = limit_tk;
+        return false;
+      }
+    }
+  }
+
+  void prune_overflow_head() {
+    while (!overflow_.empty()) {
+      auto it = overflow_.begin();
+      Node& n = pool_[it->second];
+      if (n.state != State::dead) return;
+      std::uint32_t i = it->second;
+      overflow_.erase(it);
+      free_node(i);
+    }
+  }
+
+  /// True iff a live event with time <= limit is at the top of due_.
+  bool advance_due(std::int64_t limit_ns) {
+    for (;;) {
+      prune_due();
+      if (!due_.empty()) return due_.front().ns <= limit_ns;
+      if (wheel_live_ == 0 && overflow_live_ == 0) return false;
+      if (!refill_due(static_cast<std::uint64_t>(limit_ns) >>
+                      kGranularityShift))
+        return false;
+    }
+  }
+
+  /// Fire the earliest event if its time <= limit. The heart of every
+  /// run_* loop.
+  bool fire_next(SimTime limit) {
+    if (!advance_due(limit.ns)) return false;
+    std::pop_heap(due_.begin(), due_.end(), Later{});
+    DueEnt e = due_.back();
+    due_.pop_back();
+    --due_live_;
+    if (now_.ns < e.ns) now_ = SimTime{e.ns};
+    ++executed_;
+    // pool_ may reallocate if the callback schedules; re-index after.
+    if (pool_[e.idx].interval_ns > 0) {
+      pool_[e.idx].loc = Loc::executing;
+      Fn f = std::move(pool_[e.idx].fn);
+      f();
+      Node& n = pool_[e.idx];
+      if (n.state == State::armed) {  // not cancelled mid-callback
+        n.fn = std::move(f);
+        n.time = now_ + SimTime{n.interval_ns};
+        n.seq = seq_++;
+        place(e.idx);
+      } else {
+        free_node(e.idx);
+      }
+    } else {
+      Fn f = std::move(pool_[e.idx].fn);
+      free_node(e.idx);  // handle goes stale *before* the callback runs
+      f();
+    }
+    return true;
+  }
+
+  // ---- Timer support -------------------------------------------------
+
+  bool node_armed(std::uint32_t i, std::uint32_t gen) const {
+    return i < pool_.size() && pool_[i].gen == gen &&
+           pool_[i].state == State::armed;
+  }
+
+  void cancel_node(std::uint32_t i, std::uint32_t gen) {
+    if (tearing_down_ || !node_armed(i, gen)) return;
+    Node& n = pool_[i];
+    switch (n.loc) {
+      case Loc::wheel:
+        unlink(i);
+        --wheel_live_;
+        free_node(i);  // O(1), no shell left behind
+        break;
+      case Loc::due:  // heap entry still points here: leave a dead shell
+        n.state = State::dead;
+        n.fn = nullptr;
+        --due_live_;
+        break;
+      case Loc::overflow:  // multimap entry still points here: shell
+        n.state = State::dead;
+        n.fn = nullptr;
+        --overflow_live_;
+        break;
+      case Loc::executing:  // periodic cancelling itself mid-callback
+        n.state = State::dead;
+        break;
+      case Loc::none:
+        break;
+    }
+  }
+
+  /// Retarget a still-armed, not-currently-firing timer, reusing its
+  /// stored closure. Wheel residents re-place in O(1) keeping the same
+  /// node; due/overflow residents (whose container entries can't be
+  /// unlinked O(1)) move the closure to a fresh node and leave a dead
+  /// shell behind — the handle is updated in place to the new identity.
+  bool rearm_handle(std::uint32_t* ip, std::uint32_t* genp, SimTime t) {
+    if (tearing_down_ || !node_armed(*ip, *genp)) return false;
+    Node& n = pool_[*ip];
+    switch (n.loc) {
+      case Loc::executing:
+        return false;
+      case Loc::wheel:
+        unlink(*ip);
+        --wheel_live_;
+        n.time = clamp(t);
+        n.seq = seq_++;
+        place(*ip);
+        return true;
+      case Loc::due:
+      case Loc::overflow: {
+        Fn f = std::move(n.fn);
+        std::int64_t iv = n.interval_ns;
+        bool det = n.detached;
+        n.state = State::dead;
+        n.fn = nullptr;
+        if (n.loc == Loc::due)
+          --due_live_;
+        else
+          --overflow_live_;
+        std::uint32_t ni = new_node(clamp(t), iv, std::move(f), det);
+        place(ni);
+        *ip = ni;
+        *genp = pool_[ni].gen;
+        return true;
+      }
+      case Loc::none:
+        return false;
+    }
+    return false;
+  }
+
+  bool tearing_down_ = false;
+  std::vector<Node> pool_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t slots_[kLevels][kSlots];
+  std::uint64_t bitmap_[kLevels][kSlots / 64] = {};
+  std::multimap<std::int64_t, std::uint32_t> overflow_;  // sorted, FIFO ties
+  std::vector<DueEnt> due_;
+  std::uint64_t tick_ = 0;  // wheel cursor: slots <= tick_ are harvested
+  std::size_t wheel_live_ = 0;
+  std::size_t overflow_live_ = 0;
+  std::size_t due_live_ = 0;
   SimTime now_{};
   std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
 };
+
+inline void Timer::cancel() {
+  if (sched_ != nullptr) {
+    sched_->cancel_node(node_, gen_);
+    sched_ = nullptr;
+  }
+}
+
+inline bool Timer::armed() const {
+  return sched_ != nullptr && sched_->node_armed(node_, gen_);
+}
+
+inline bool Timer::rearm(SimTime delay) {
+  if (sched_ == nullptr) return false;
+  return sched_->rearm_handle(&node_, &gen_, sched_->now() + delay);
+}
+
+inline bool Timer::rearm_at(SimTime t) {
+  if (sched_ == nullptr) return false;
+  return sched_->rearm_handle(&node_, &gen_, t);
+}
 
 }  // namespace rina::sim

@@ -22,11 +22,11 @@ static void simtime_math() {
 static void event_order() {
   sim::Scheduler s;
   std::vector<int> order;
-  s.schedule_after(SimTime::from_ms(3), [&] { order.push_back(3); });
-  s.schedule_after(SimTime::from_ms(1), [&] { order.push_back(1); });
-  s.schedule_after(SimTime::from_ms(2), [&] { order.push_back(2); });
+  s.post_after(SimTime::from_ms(3), [&] { order.push_back(3); });
+  s.post_after(SimTime::from_ms(1), [&] { order.push_back(1); });
+  s.post_after(SimTime::from_ms(2), [&] { order.push_back(2); });
   // Same-time events run in insertion order.
-  s.schedule_after(SimTime::from_ms(1), [&] { order.push_back(11); });
+  s.post_after(SimTime::from_ms(1), [&] { order.push_back(11); });
   s.run();
   CHECK(order == (std::vector<int>{1, 11, 2, 3}));
   CHECK(s.now() == SimTime::from_ms(3));
@@ -35,9 +35,9 @@ static void event_order() {
 static void nested_scheduling() {
   sim::Scheduler s;
   int hits = 0;
-  s.schedule_after(SimTime::from_ms(1), [&] {
+  s.post_after(SimTime::from_ms(1), [&] {
     ++hits;
-    s.schedule_after(SimTime::from_ms(1), [&] { ++hits; });
+    s.post_after(SimTime::from_ms(1), [&] { ++hits; });
   });
   s.run();
   CHECK(hits == 2);
@@ -47,8 +47,8 @@ static void nested_scheduling() {
 static void run_until_time() {
   sim::Scheduler s;
   int hits = 0;
-  s.schedule_after(SimTime::from_ms(5), [&] { ++hits; });
-  s.schedule_after(SimTime::from_ms(15), [&] { ++hits; });
+  s.post_after(SimTime::from_ms(5), [&] { ++hits; });
+  s.post_after(SimTime::from_ms(15), [&] { ++hits; });
   s.run_until(SimTime::from_ms(10));
   CHECK(hits == 1);
   CHECK(s.now() == SimTime::from_ms(10));  // clock advances even when idle
@@ -59,7 +59,7 @@ static void run_until_time() {
 static void run_until_pred() {
   sim::Scheduler s;
   int x = 0;
-  s.schedule_after(SimTime::from_ms(2), [&] { x = 1; });
+  s.post_after(SimTime::from_ms(2), [&] { x = 1; });
   bool got = s.run_until_pred([&] { return x == 1; }, SimTime::from_sec(1));
   CHECK(got);
   CHECK(s.now() == SimTime::from_ms(2));  // stops as soon as pred holds
