@@ -158,7 +158,7 @@ Out run_rina(bool scoped, double frac) {
                                    flow::QosSpec::reliable_default()));
 
   sim::Link* bott = net.link_between("r1", "r2");
-  std::uint64_t frames_before = bott->stats().get("tx_frames_large");
+  std::uint64_t frames_before = bott->counter("tx_frames_large");
 
   drive_flows(net.sched(), frac, [&](int i, const Bytes& p) {
     (void)flows[static_cast<std::size_t>(i)].write(BytesView{p});
@@ -166,7 +166,7 @@ Out run_rina(bool scoped, double frac) {
   // Goodput is measured over the loaded window only.
   std::uint64_t unique = 0;
   for (auto& s : sinks) unique += s.unique();
-  std::uint64_t frames = bott->stats().get("tx_frames_large") - frames_before;
+  std::uint64_t frames = bott->counter("tx_frames_large") - frames_before;
   settle(net, SimTime::from_sec(3));
 
   Histogram delays;

@@ -14,7 +14,7 @@
 //
 // Metrics: max routing-table size over all nodes/IPCPs; total routing
 // messages to bring the network up; messages triggered by one link flap.
-#include <chrono>
+#include <optional>
 
 #include "baseline/net.hpp"
 #include "common.hpp"
@@ -371,12 +371,10 @@ SweepOut run_sweep_point(const SweepShape& s) {
   SimTime window = SimTime::from_sec(2.0 * duration_scale());
   std::uint64_t pending0 = net.sched().pending();
   std::uint64_t ticks0 = maint_ticks;
-  std::uint64_t events0 = net.sched().executed();
   std::uint64_t bytes0 = net.sum_link_counter("tx_bytes");
   std::uint64_t rx0 = rx_sdus;
-  auto wall0 = std::chrono::steady_clock::now();
-  net.run_for(window);
-  auto wall1 = std::chrono::steady_clock::now();
+  Throughput perf = measure_throughput(net, net.events_executed(),
+                                       [&] { net.run_for(window); });
   senders.clear();  // cancel-on-destroy stops the load
   ticks.clear();
   soft.clear();
@@ -388,22 +386,396 @@ SweepOut run_sweep_point(const SweepShape& s) {
   out.flows = flows.size();
   out.timers = pending0;
   out.ticks = maint_ticks - ticks0;
-  out.events = net.sched().executed() - events0;
+  out.events = perf.events;
   out.link_bytes = net.sum_link_counter("tx_bytes") - bytes0;
   out.rx_sdus = rx_sdus - rx0;
   out.bytes_per_event =
       out.events > 0 ? static_cast<double>(out.link_bytes) /
                            static_cast<double>(out.events)
                      : 0.0;
-  out.wall_ms =
-      std::chrono::duration<double, std::milli>(wall1 - wall0).count();
-  out.events_per_sec = out.wall_ms > 0
-                           ? static_cast<double>(out.events) * 1e3 / out.wall_ms
-                           : 0.0;
+  out.wall_ms = perf.wall_ms;
+  out.events_per_sec = perf.events_per_sec;
   return out;
 }
 
-void emit_sweep_json(const std::vector<SweepOut>& rows) {
+// ---------------------------------------------------------------------
+// C5c — sharded thread sweep. The same regional workload as C5b, but the
+// simulation is partitioned over 8 shard wheels (sim::ShardedScheduler)
+// with regions block-assigned r*8/R, plus a cross-shard "express" layer:
+// border pairs b(p) <-> b(p+R/2) get a dedicated 5 ms wire (the
+// conservative lookahead) carrying its own 2-member DIF component and a
+// periodic flow, so every window moves real PDUs through the SPSC
+// boundary rings. The shard count is FIXED at 8; the thread count only
+// chooses how many workers execute the shards — every deterministic
+// column below must be byte-identical for T=1 and T=8, and the sweep
+// aborts if it is not. events/sec, wall ms and speedup are
+// machine-dependent and go to stderr + RINA_BENCH_JSON only.
+
+constexpr int kShards = 8;
+
+/// One cache line per shard: workers bump their own cell with plain
+/// stores, the driver sums after the run.
+struct alignas(64) ShardCell {
+  std::uint64_t v = 0;
+};
+
+struct ShardOut {
+  int nodes = 0;
+  int regions = 0;
+  int threads = 0;
+  std::uint64_t flows = 0;        // intra-region flows (== regions)
+  std::uint64_t express = 0;      // cross-shard express flows
+  std::uint64_t events = 0;       // events in the measurement window
+  std::uint64_t ticks = 0;        // housekeeping tick firings in the window
+  std::uint64_t rx_sdus = 0;      // region-flow deliveries in the window
+  std::uint64_t xrx_sdus = 0;     // express deliveries in the window
+  std::uint64_t cross_pdus = 0;   // total ring crossings (whole run)
+  std::uint64_t cross_drops = 0;  // ring-full drops (whole run)
+  std::uint64_t windows = 0;      // lookahead windows (whole run)
+  std::uint64_t link_bytes = 0;   // tx bytes in the window
+  Throughput perf;                // wall-clock — NOT deterministic
+
+  /// Every deterministic column, one string — compared across thread
+  /// counts and aborted on if they ever diverge.
+  [[nodiscard]] std::string digest() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "n=%d r=%d f=%llu x=%llu ev=%llu tk=%llu rx=%llu xrx=%llu "
+                  "cross=%llu drop=%llu win=%llu bytes=%llu",
+                  nodes, regions, static_cast<unsigned long long>(flows),
+                  static_cast<unsigned long long>(express),
+                  static_cast<unsigned long long>(events),
+                  static_cast<unsigned long long>(ticks),
+                  static_cast<unsigned long long>(rx_sdus),
+                  static_cast<unsigned long long>(xrx_sdus),
+                  static_cast<unsigned long long>(cross_pdus),
+                  static_cast<unsigned long long>(cross_drops),
+                  static_cast<unsigned long long>(windows),
+                  static_cast<unsigned long long>(link_bytes));
+    return buf;
+  }
+};
+
+ShardOut run_shard_point(const SweepShape& s, int threads) {
+  // The 1M-node point carries a reduced soft-state population: 8 timers
+  // per node keeps the pending set (~8M) inside a reasonable footprint.
+  const int soft_per_node = s.total_nodes() >= 1000000 ? 8 : 64;
+  const int R = s.regions;
+  const int pairs = std::min(R / 2, 256);
+  const auto reg_dif = [](int r) {
+    return naming::DifName{"reg" + std::to_string(r)};
+  };
+  const auto bdr = [](int r) { return "b" + std::to_string(r); };
+  const auto spk = [](int r, int m) {
+    return "s" + std::to_string(r) + "_" + std::to_string(m);
+  };
+  const auto hostA = [](int r) { return "hA" + std::to_string(r); };
+  const auto hostB = [](int r) { return "hB" + std::to_string(r); };
+  const auto shard_of_region = [R](int r) { return r * kShards / R; };
+
+  Network net(4242);
+  net.enable_sharding(kShards, threads, /*ring_capacity=*/512);
+  // Shard plan first: a node's shard is fixed the moment a link or DIF
+  // first mentions it. Whole regions land on one shard, so only the
+  // express wires cross.
+  for (int r = 0; r < R; ++r) {
+    int sh = shard_of_region(r);
+    net.assign_shard(bdr(r), sh);
+    for (int m = 1; m <= SweepShape::kSpokes; ++m) net.assign_shard(spk(r, m), sh);
+    net.assign_shard(hostA(r), sh);
+    net.assign_shard(hostB(r), sh);
+  }
+  for (int r = 0; r < R; ++r) {
+    std::vector<std::string> members{bdr(r)};
+    for (int m = 1; m <= SweepShape::kSpokes; ++m) {
+      net.add_link(bdr(r), spk(r, m));
+      members.push_back(spk(r, m));
+    }
+    net.add_link(hostA(r), spk(r, 1));
+    net.add_link(hostB(r), bdr(r));
+    members.push_back(hostA(r));
+    members.push_back(hostB(r));
+    node::DifSpec spec = mk_dif(reg_dif(r).value, std::move(members));
+    spec.cfg.keepalive_enabled = true;
+    if (!net.build_link_dif(spec).ok()) std::abort();
+  }
+  net.run_for(SimTime::from_ms(400));
+
+  // Express layer, added after the region builds: one 5 ms wire per
+  // border pair (p, p+R/2) — always cross-shard under the block
+  // assignment — and ONE express DIF whose components are exactly those
+  // pairs (members with no wire between them simply never meet).
+  node::LinkOpts xopts;
+  xopts.delay = SimTime::from_ms(5);
+  std::vector<std::string> xmembers;
+  xmembers.reserve(static_cast<std::size_t>(pairs) * 2);
+  for (int p = 0; p < pairs; ++p) {
+    net.add_link(bdr(p), bdr(p + R / 2), xopts);
+    xmembers.push_back(bdr(p));
+    xmembers.push_back(bdr(p + R / 2));
+  }
+  const naming::DifName xdif{"express"};
+  if (!net.build_link_dif(mk_dif(xdif.value, std::move(xmembers))).ok())
+    std::abort();
+
+  // Per-shard delivery counters; each sink bumps its own shard's cell.
+  std::vector<ShardCell> rx(kShards), xrx(kShards), tickc(kShards),
+      softc(kShards), idlec(kShards);
+  for (int r = 0; r < R; ++r) {
+    std::uint64_t* cell = &rx[static_cast<std::size_t>(shard_of_region(r))].v;
+    auto res = net.node(hostB(r)).register_app(
+        naming::AppName{"sink" + std::to_string(r)}, reg_dif(r),
+        [cell](flow::Flow f) {
+          f.on_readable([cell](flow::Flow& fl) {
+            while (auto sdu = fl.read()) {
+              (void)sdu;
+              ++*cell;
+            }
+          });
+        });
+    if (!res.ok()) std::abort();
+  }
+  for (int p = 0; p < pairs; ++p) {
+    int dst = p + R / 2;
+    std::uint64_t* cell = &xrx[static_cast<std::size_t>(shard_of_region(dst))].v;
+    auto res = net.node(bdr(dst)).register_app(
+        naming::AppName{"xsink" + std::to_string(p)}, xdif,
+        [cell](flow::Flow f) {
+          f.on_readable([cell](flow::Flow& fl) {
+            while (auto sdu = fl.read()) {
+              (void)sdu;
+              ++*cell;
+            }
+          });
+        });
+    if (!res.ok()) std::abort();
+  }
+  net.run_for(SimTime::from_ms(200));
+
+  std::vector<flow::Flow> flows;
+  flows.reserve(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    flows.push_back(net.node(hostA(r)).allocate_flow_on(
+        reg_dif(r), naming::AppName{"src" + std::to_string(r)},
+        naming::AppName{"sink" + std::to_string(r)}, flow::QosSpec{}));
+  }
+  std::vector<flow::Flow> xflows;
+  xflows.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    xflows.push_back(net.node(bdr(p)).allocate_flow_on(
+        xdif, naming::AppName{"xsrc" + std::to_string(p)},
+        naming::AppName{"xsink" + std::to_string(p)}, flow::QosSpec{}));
+  }
+  bool all_open = net.run_until(
+      [&] {
+        for (const auto& f : flows)
+          if (f.is_allocating()) return false;
+        for (const auto& f : xflows)
+          if (f.is_allocating()) return false;
+        return true;
+      },
+      SimTime::from_sec(30));
+  if (!all_open) std::abort();
+  for (const auto& f : flows)
+    if (!f.is_open()) std::abort();
+  for (const auto& f : xflows)
+    if (!f.is_open()) std::abort();
+
+  // Same timer-stress layer as C5b, but every timer lives on its node's
+  // OWN shard wheel and counts into its shard's cell: a worker never
+  // touches another shard's state mid-window.
+  const SimTime tick_period = SimTime::from_ms(1);
+  std::vector<sim::Timer> ticks, soft, idles, senders, xsenders;
+  ticks.reserve(static_cast<std::size_t>(s.total_nodes()));
+  soft.reserve(static_cast<std::size_t>(s.total_nodes()) * soft_per_node);
+  int node_idx = 0;
+  for (int r = 0; r < R; ++r) {
+    std::vector<std::string> names{bdr(r)};
+    for (int m = 1; m <= SweepShape::kSpokes; ++m) names.push_back(spk(r, m));
+    names.push_back(hostA(r));
+    names.push_back(hostB(r));
+    auto sh = static_cast<std::size_t>(shard_of_region(r));
+    for (const auto& name : names) {
+      sim::Scheduler& sc = net.node(name).sched();
+      std::uint64_t* tcell = &tickc[sh].v;
+      sim::Timer t = sc.periodic(tick_period, [tcell] { ++*tcell; });
+      (void)t.rearm_at(net.now() +
+                       SimTime{tick_period.ns * ((node_idx % 16) + 1) / 16});
+      ticks.push_back(std::move(t));
+      std::uint64_t* scell = &softc[sh].v;
+      for (int j = 0; j < soft_per_node; ++j) {
+        SimTime period{SimTime::from_sec(1).ns +
+                       ((node_idx * soft_per_node + j) % 16) *
+                           SimTime::from_ms(125).ns};
+        soft.push_back(sc.periodic(period, [scell] { ++*scell; }));
+      }
+      ++node_idx;
+    }
+  }
+  const SimTime idle_timeout = SimTime::from_ms(25);
+  idles.resize(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    std::uint64_t* icell = &idlec[static_cast<std::size_t>(shard_of_region(r))].v;
+    idles[static_cast<std::size_t>(r)] = net.node(hostA(r)).sched().schedule_after(
+        idle_timeout, [icell] { ++*icell; });
+  }
+
+  // Senders: one payload buffer per flow (workers stamp concurrently),
+  // timestamps from the sender's own shard clock.
+  std::vector<Bytes> payloads(static_cast<std::size_t>(R), Bytes(64, 0xC5));
+  std::vector<Bytes> xpayloads(static_cast<std::size_t>(pairs), Bytes(64, 0xC6));
+  senders.reserve(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    auto ri = static_cast<std::size_t>(r);
+    sim::Scheduler* sc = &net.node(hostA(r)).sched();
+    flow::Flow* f = &flows[ri];
+    Bytes* pay = &payloads[ri];
+    sim::Timer* idle = &idles[ri];
+    std::uint64_t* icell = &idlec[static_cast<std::size_t>(shard_of_region(r))].v;
+    senders.push_back(sc->periodic(SimTime::from_ms(20), [=] {
+      BufWriter w(16);
+      w.put_u64(ri);
+      w.put_u64(static_cast<std::uint64_t>(sc->now().ns));
+      Bytes stamp = std::move(w).take();
+      std::copy(stamp.begin(), stamp.end(), pay->begin());
+      (void)f->write(BytesView{*pay});
+      if (!idle->rearm(idle_timeout)) {
+        *idle = sc->schedule_after(idle_timeout, [icell] { ++*icell; });
+      }
+    }));
+  }
+  xsenders.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    auto pi = static_cast<std::size_t>(p);
+    sim::Scheduler* sc = &net.node(bdr(p)).sched();
+    flow::Flow* f = &xflows[pi];
+    Bytes* pay = &xpayloads[pi];
+    xsenders.push_back(sc->periodic(SimTime::from_ms(20), [=] {
+      BufWriter w(16);
+      w.put_u64(pi);
+      w.put_u64(static_cast<std::uint64_t>(sc->now().ns));
+      Bytes stamp = std::move(w).take();
+      std::copy(stamp.begin(), stamp.end(), pay->begin());
+      (void)f->write(BytesView{*pay});
+    }));
+  }
+
+  SimTime window = SimTime::from_sec(2.0 * duration_scale());
+  std::uint64_t bytes0 = net.sum_link_counter("tx_bytes");
+  Throughput perf = measure_throughput(net, net.events_executed(),
+                                       [&] { net.run_for(window); });
+  senders.clear();
+  xsenders.clear();
+  ticks.clear();
+  soft.clear();
+  idles.clear();
+
+  auto sum = [](const std::vector<ShardCell>& cells) {
+    std::uint64_t n = 0;
+    for (const ShardCell& c : cells) n += c.v;
+    return n;
+  };
+  ShardOut out;
+  out.nodes = s.total_nodes();
+  out.regions = R;
+  out.threads = threads;
+  out.flows = flows.size();
+  out.express = xflows.size();
+  out.events = perf.events;
+  out.ticks = sum(tickc);
+  out.rx_sdus = sum(rx);
+  out.xrx_sdus = sum(xrx);
+  out.cross_pdus = net.sharded_sched()->cross_pushed();
+  out.cross_drops = net.sharded_sched()->cross_full_drops();
+  out.windows = net.sharded_sched()->windows();
+  out.link_bytes = net.sum_link_counter("tx_bytes") - bytes0;
+  out.perf = perf;
+  return out;
+}
+
+/// RINA_C5_THREADS: comma-separated worker counts, default "1,2,4,8".
+std::vector<int> thread_list() {
+  std::vector<int> out;
+  const char* v = std::getenv("RINA_C5_THREADS");
+  std::string spec = (v != nullptr && *v != '\0') ? v : "1,2,4,8";
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    int t = std::atoi(spec.substr(pos, comma - pos).c_str());
+    if (t > 0) out.push_back(t);
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+struct ShardRow {
+  ShardOut o;
+  double speedup = 1.0;  // vs the first thread count of the same point
+};
+
+void run_shard_sweep(int max_nodes, std::vector<ShardRow>& json_rows) {
+  std::vector<int> threads = thread_list();
+  TablePrinter t({"N (nodes)", "shards", "express", "flows", "events", "ticks",
+                  "rx SDUs", "xrx SDUs", "cross PDUs", "cross drops",
+                  "windows"});
+  bool any = false;
+  for (int regions : {100, 1000, 10000, 100000}) {
+    SweepShape s{regions};
+    if (s.total_nodes() > max_nodes) {
+      std::fprintf(stderr, "shard point N=%d skipped (RINA_C5_MAX_NODES=%d)\n",
+                   s.total_nodes(), max_nodes);
+      continue;
+    }
+    std::optional<ShardOut> first;
+    for (int T : threads) {
+      ShardOut o = run_shard_point(s, T);
+      double speedup = first.has_value() && first->perf.events_per_sec > 0
+                           ? o.perf.events_per_sec / first->perf.events_per_sec
+                           : 1.0;
+      std::fprintf(stderr,
+                   "shard N=%d T=%d: %.2fM events/sec (%.0f ms wall, "
+                   "%.2fx vs T=%d)\n",
+                   o.nodes, T, o.perf.events_per_sec / 1e6, o.perf.wall_ms,
+                   speedup, threads.front());
+      if (!first.has_value()) {
+        first = o;
+      } else if (o.digest() != first->digest()) {
+        std::fprintf(stderr,
+                     "C5c DETERMINISM VIOLATION at N=%d:\n  T=%d: %s\n  "
+                     "T=%d: %s\n",
+                     o.nodes, threads.front(), first->digest().c_str(), T,
+                     o.digest().c_str());
+        std::abort();
+      }
+      json_rows.push_back({o, speedup});
+    }
+    const ShardOut& r = *first;
+    t.add_row({TablePrinter::integer(r.nodes), TablePrinter::integer(kShards),
+               TablePrinter::integer(r.express), TablePrinter::integer(r.flows),
+               TablePrinter::integer(r.events), TablePrinter::integer(r.ticks),
+               TablePrinter::integer(r.rx_sdus),
+               TablePrinter::integer(r.xrx_sdus),
+               TablePrinter::integer(r.cross_pdus),
+               TablePrinter::integer(r.cross_drops),
+               TablePrinter::integer(r.windows)});
+    any = true;
+  }
+  if (!any) return;
+  t.print("C5c sharded thread sweep (deterministic columns — identical for "
+          "every thread count)");
+  std::printf(
+      "\nThe C5b workload partitioned over 8 shard wheels, plus express\n"
+      "border flows crossing shards through SPSC boundary rings under a\n"
+      "5 ms conservative lookahead. Every column above is asserted\n"
+      "byte-identical across the RINA_C5_THREADS sweep; events/sec,\n"
+      "wall ms and speedup are machine-dependent: see stderr and\n"
+      "RINA_BENCH_JSON.\n");
+}
+
+void emit_sweep_json(const std::vector<SweepOut>& rows,
+                     const std::vector<ShardRow>& shard_rows) {
   const char* path = std::getenv("RINA_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   std::FILE* f = std::fopen(path, "w");
@@ -416,35 +788,53 @@ void emit_sweep_json(const std::vector<SweepOut>& rows) {
                duration_scale());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepOut& r = rows[i];
+    Throughput tp;
+    tp.events = r.events;
+    tp.wall_ms = r.wall_ms;
+    tp.events_per_sec = r.events_per_sec;
     std::fprintf(f,
-                 "    {\"nodes\": %d, \"regions\": %d, \"flows\": %llu, "
-                 "\"pending_timers\": %llu, \"events\": %llu, "
+                 "    {\"nodes\": %d, \"regions\": %d, \"threads\": 1, "
+                 "\"flows\": %llu, "
+                 "\"pending_timers\": %llu, "
                  "\"maint_ticks\": %llu, \"link_bytes\": %llu, "
-                 "\"rx_sdus\": %llu, \"bytes_per_event\": %.3f, "
-                 "\"events_per_sec\": %.0f, \"wall_ms\": %.1f}%s\n",
+                 "\"rx_sdus\": %llu, \"bytes_per_event\": %.3f, ",
                  r.nodes, r.regions, static_cast<unsigned long long>(r.flows),
                  static_cast<unsigned long long>(r.timers),
-                 static_cast<unsigned long long>(r.events),
                  static_cast<unsigned long long>(r.ticks),
                  static_cast<unsigned long long>(r.link_bytes),
                  static_cast<unsigned long long>(r.rx_sdus),
-                 r.bytes_per_event, r.events_per_sec, r.wall_ms,
-                 i + 1 < rows.size() ? "," : "");
+                 r.bytes_per_event);
+    json_throughput_fields(f, tp);
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"shard_sweep\": [\n");
+  for (std::size_t i = 0; i < shard_rows.size(); ++i) {
+    const ShardOut& r = shard_rows[i].o;
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"regions\": %d, \"threads\": %d, "
+                 "\"shards\": %d, \"express\": %llu, \"cross_pdus\": %llu, "
+                 "\"cross_drops\": %llu, \"windows\": %llu, "
+                 "\"rx_sdus\": %llu, \"xrx_sdus\": %llu, "
+                 "\"speedup\": %.3f, ",
+                 r.nodes, r.regions, r.threads, kShards,
+                 static_cast<unsigned long long>(r.express),
+                 static_cast<unsigned long long>(r.cross_pdus),
+                 static_cast<unsigned long long>(r.cross_drops),
+                 static_cast<unsigned long long>(r.windows),
+                 static_cast<unsigned long long>(r.rx_sdus),
+                 static_cast<unsigned long long>(r.xrx_sdus),
+                 shard_rows[i].speedup);
+    json_throughput_fields(f, r.perf);
+    std::fprintf(f, "}%s\n", i + 1 < shard_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
 }
 
-void run_sweep() {
-  int max_nodes = 100000;
-  if (const char* v = std::getenv("RINA_C5_MAX_NODES")) {
-    int m = std::atoi(v);
-    if (m > 0) max_nodes = m;
-  }
+void run_sweep(int max_nodes, std::vector<SweepOut>& rows) {
   TablePrinter t({"N (nodes)", "regions", "flows", "timers", "events",
                   "ticks", "link bytes", "bytes/event", "rx SDUs"});
-  std::vector<SweepOut> rows;
   for (int regions : {100, 1000, 10000}) {
     SweepShape s{regions};
     if (s.total_nodes() > max_nodes) {
@@ -471,7 +861,6 @@ void run_sweep() {
       "flow an idle timer rearmed per SDU. All share one scheduler.\n"
       "events/sec and wall time are machine-dependent: see stderr and\n"
       "RINA_BENCH_JSON.\n");
-  emit_sweep_json(rows);
 }
 
 }  // namespace
@@ -513,6 +902,15 @@ int main() {
       "linearly with N. Topological aggregation bends the curve to ~region\n"
       "count + region size. Recursion caps EVERY table at its DIF's scope\n"
       "and confines a flap's flood to the region DIF it happened in.\n");
-  run_sweep();
+  int max_nodes = 100000;
+  if (const char* v = std::getenv("RINA_C5_MAX_NODES")) {
+    int m = std::atoi(v);
+    if (m > 0) max_nodes = m;
+  }
+  std::vector<SweepOut> rows;
+  run_sweep(max_nodes, rows);
+  std::vector<ShardRow> shard_rows;
+  run_shard_sweep(max_nodes, shard_rows);
+  emit_sweep_json(rows, shard_rows);
   return 0;
 }

@@ -143,9 +143,9 @@ Out run_rina(bool caching) {
   sim::Link* bb1 = net.link_between("e1", "core");
   sim::Link* bb2 = net.link_between("e2", "core");
   sim::Link* ol = net.link_between("core", "origin");
-  std::uint64_t bytes_before = bb1->stats().get("tx_bytes") +
-                               bb2->stats().get("tx_bytes") +
-                               ol->stats().get("tx_bytes");
+  std::uint64_t bytes_before = bb1->counter("tx_bytes") +
+                               bb2->counter("tx_bytes") +
+                               ol->counter("tx_bytes");
 
   Out out;
   Histogram lat_ms;
@@ -175,9 +175,9 @@ Out run_rina(bool caching) {
   out.origin_requests = server.stats().get("requests_served");
   out.cache_replies = net.sum_dif_counter(dif, "cs_replies");
   out.backbone_mb =
-      static_cast<double>(bb1->stats().get("tx_bytes") +
-                          bb2->stats().get("tx_bytes") +
-                          ol->stats().get("tx_bytes") - bytes_before) /
+      static_cast<double>(bb1->counter("tx_bytes") +
+                          bb2->counter("tx_bytes") +
+                          ol->counter("tx_bytes") - bytes_before) /
       1e6;
   finish(out, lat_ms);
   return out;
@@ -272,9 +272,9 @@ Out run_baseline() {
   }
 
   std::uint64_t bytes_before =
-      net.link_between("e1", "core")->stats().get("tx_bytes") +
-      net.link_between("e2", "core")->stats().get("tx_bytes") +
-      net.link_between("core", "origin")->stats().get("tx_bytes");
+      net.link_between("e1", "core")->counter("tx_bytes") +
+      net.link_between("e2", "core")->counter("tx_bytes") +
+      net.link_between("core", "origin")->counter("tx_bytes");
 
   std::vector<ZipfGen> zipf;
   for (int i = 0; i < kClients; ++i)
@@ -304,9 +304,9 @@ Out run_baseline() {
       cache1.stats().get("cache_hits") + cache2.stats().get("cache_hits");
   out.backbone_mb =
       static_cast<double>(
-          net.link_between("e1", "core")->stats().get("tx_bytes") +
-          net.link_between("e2", "core")->stats().get("tx_bytes") +
-          net.link_between("core", "origin")->stats().get("tx_bytes") -
+          net.link_between("e1", "core")->counter("tx_bytes") +
+          net.link_between("e2", "core")->counter("tx_bytes") +
+          net.link_between("core", "origin")->counter("tx_bytes") -
           bytes_before) /
       1e6;
   finish(out, lat_ms);

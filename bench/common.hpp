@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -211,6 +212,51 @@ inline LoadResult run_load(Network& net, flow::Flow& f, double pps,
 /// Drain in-flight traffic after the load stops.
 inline void settle(Network& net, SimTime t = SimTime::from_sec(2)) {
   net.run_for(SimTime::from_sec(t.to_sec() * duration_scale()));
+}
+
+/// Wall-clock stopwatch for events/sec measurements. Wall time is the
+/// ONE nondeterministic number a bench may print — and only to stderr
+/// or the JSON sidecar, never into the deterministic stdout table.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One throughput measurement: simulator events retired per wall second.
+struct Throughput {
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+};
+
+/// Time `body()` and convert the event-counter delta it caused into a
+/// rate. `events_before` is the counter reading taken just before.
+template <typename Body>
+Throughput measure_throughput(Network& net, std::uint64_t events_before,
+                              Body&& body) {
+  WallTimer w;
+  body();
+  Throughput t;
+  t.events = net.events_executed() - events_before;
+  t.wall_ms = w.ms();
+  t.events_per_sec = t.wall_ms > 0.0 ? t.events / (t.wall_ms / 1e3) : 0.0;
+  return t;
+}
+
+/// Append the standard throughput triple to an in-progress JSON object
+/// (no trailing comma; the caller brackets the row).
+inline void json_throughput_fields(std::FILE* f, const Throughput& t) {
+  std::fprintf(f, "\"events\": %llu, \"events_per_sec\": %.0f, \"wall_ms\": %.1f",
+               static_cast<unsigned long long>(t.events), t.events_per_sec,
+               t.wall_ms);
 }
 
 }  // namespace rina::benchx

@@ -20,22 +20,30 @@
 // retransmission — which prepends onto a parked, non-frontier handle —
 // pays a copy.
 //
-// Allocation model: buffers come from PacketArena, a process-wide pool
+// Allocation model: buffers come from PacketArena, a THREAD-LOCAL pool
 // of power-of-two size-class free-lists. Releasing the last handle
-// returns the buffer (vector capacity intact) to its class list, so
-// steady-state traffic recycles a small working set instead of hitting
-// the global allocator per PDU. The simulator is one single-threaded
-// event loop, so one process-wide arena *is* the per-node arena — there
-// is no cross-node contention to isolate; when the sharded scheduler
-// lands, the arena becomes per-shard the same way. The refcount is
-// plain (non-atomic) for the same reason.
+// returns the buffer (vector capacity intact) to the releasing thread's
+// class list, so steady-state traffic recycles a small working set
+// instead of hitting the global allocator per PDU. Under the sharded
+// scheduler each worker thread drives a fixed block of shards, so the
+// thread-local pool *is* the per-shard pool and the hot path stays
+// free of atomics and locks. A buffer that crosses shards simply
+// migrates pools: it is freed into whichever thread dropped the last
+// handle. The refcount stays plain (non-atomic) because a Packet is
+// only ever visible to one thread at a time — the cross-shard path
+// enforces exclusive ownership (deep-copying shared buffers) and the
+// ring's release/acquire pair orders the hand-off.
 //
-// Process-wide counters make copy and allocation behaviour observable:
-// bench_micro's encap/arena sections and test_packet assert from them.
+// Counters are thread-local too (same no-atomics argument), registered
+// so packet_counters_total() can aggregate on read — valid only while
+// worker threads are quiesced (between scheduler windows), which is
+// the only time anyone reads stats. bench_micro's encap/arena sections
+// and test_packet assert from the calling thread's view.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -48,7 +56,7 @@ namespace rina {
 /// or for the baseline's transport + IP + tunnel headers.
 inline constexpr std::size_t kDefaultHeadroom = 192;
 
-/// Process-wide datapath counters (single-threaded simulator).
+/// Per-thread datapath counters (no atomics on the hot path).
 struct PacketCounters {
   std::uint64_t allocs = 0;            // buffer acquisitions (pooled or fresh)
   std::uint64_t payload_copies = 0;    // events that memcpy'd payload bytes
@@ -58,11 +66,71 @@ struct PacketCounters {
   std::uint64_t arena_returns = 0;     // buffers recycled into the free-list
 
   void reset() { *this = PacketCounters{}; }
+
+  void add(const PacketCounters& o) {
+    allocs += o.allocs;
+    payload_copies += o.payload_copies;
+    cow_copies += o.cow_copies;
+    headroom_reallocs += o.headroom_reallocs;
+    arena_hits += o.arena_hits;
+    arena_returns += o.arena_returns;
+  }
 };
 
+namespace detail {
+
+/// Registry of every thread's counter block, so totals can be summed on
+/// demand. Threads register on first Packet use and fold their final
+/// numbers into `retired` on exit. The mutex is touched only at thread
+/// birth/death and in packet_counters_total() — never per packet.
+struct CounterRegistry {
+  std::mutex mu;
+  std::vector<const PacketCounters*> live;
+  PacketCounters retired;
+
+  static CounterRegistry& instance() {
+    static CounterRegistry r;
+    return r;
+  }
+};
+
+struct TlsCounters {
+  PacketCounters c;
+  TlsCounters() {
+    auto& r = CounterRegistry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.live.push_back(&c);
+  }
+  ~TlsCounters() {
+    auto& r = CounterRegistry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.retired.add(c);
+    for (auto it = r.live.begin(); it != r.live.end(); ++it)
+      if (*it == &c) {
+        r.live.erase(it);
+        break;
+      }
+  }
+};
+
+}  // namespace detail
+
+/// The calling thread's counters. In a single-threaded run this is the
+/// process total, exactly as before sharding.
 inline PacketCounters& packet_counters() {
-  static PacketCounters c;
-  return c;
+  static thread_local detail::TlsCounters t;
+  return t.c;
+}
+
+/// Every thread's counters summed (live + exited). Only meaningful
+/// while other threads are quiesced — e.g. from the driver thread
+/// between scheduler windows, which barrier-orders their writes.
+inline PacketCounters packet_counters_total() {
+  auto& r = detail::CounterRegistry::instance();
+  std::lock_guard<std::mutex> lk(r.mu);
+  PacketCounters sum = r.retired;
+  for (const PacketCounters* c : r.live) sum.add(*c);
+  return sum;
 }
 
 namespace detail {
@@ -85,8 +153,14 @@ class PacketArena {
   /// Per-class memory bound: lists stop growing past ~4 MiB each.
   static constexpr std::size_t kClassCapBytes = 4u << 20;
 
+  /// One arena per thread: the hot path allocates and frees with zero
+  /// synchronization. Buffers may be released on a different thread
+  /// than they were acquired on (cross-shard frames) — they just join
+  /// that thread's pool. A worker's arena destructor only deletes
+  /// buffers in its own free lists (refs == 0 by definition), never
+  /// buffers still referenced elsewhere.
   static PacketArena& instance() {
-    static PacketArena a;
+    static thread_local PacketArena a;
     return a;
   }
 

@@ -4,6 +4,15 @@
 // (RMT, enrollment, EFCP connections, links, baseline transports) exposes a
 // Stats and the benches read it by counter name. get() on a missing name is
 // 0, so benches can probe counters a configuration never increments.
+//
+// Sharding ownership rule: a Stats object belongs to the component that
+// owns it, and every component lives on exactly ONE shard — so each
+// Stats (and every slot() cell resolved from it) is written by a single
+// worker thread only, with no atomics needed. Reads from other threads
+// (benches, Network::sum_*) happen while workers are quiesced between
+// scheduler windows; the window barrier orders the writes. The one
+// component split across shards — the Link — keeps per-direction plain
+// counters of its own instead of a Stats (see sim/link.hpp).
 #pragma once
 
 #include <algorithm>

@@ -4,6 +4,8 @@
 #include "node/network.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace rina::node {
 
@@ -11,7 +13,9 @@ namespace rina::node {
 
 Node::Node(Network& net, std::string name) : net_(net), name_(std::move(name)) {}
 
-sim::Scheduler& Node::sched() { return net_.sched_; }
+sim::Scheduler& Node::sched() {
+  return net_.sharded_ ? net_.sharded_->shard(shard_) : net_.sched_;
+}
 
 naming::Address Node::allocate_dif_address(const naming::DifName& dif) {
   return net_.allocate_dif_address(dif);
@@ -168,9 +172,38 @@ Network::~Network() = default;
 
 Node& Network::node(const std::string& name) {
   auto it = nodes_.find(name);
-  if (it == nodes_.end())
+  if (it == nodes_.end()) {
     it = nodes_.emplace(name, std::make_unique<Node>(*this, name)).first;
+    if (sharded_) it->second->shard_ = shard_of(name);
+  }
   return *it->second;
+}
+
+void Network::enable_sharding(int shards, int threads,
+                              std::size_t ring_capacity) {
+  if (!nodes_.empty() || !links_.empty() || sharded_) {
+    std::fprintf(stderr,
+                 "Network::enable_sharding: must run before any node/link\n");
+    std::abort();
+  }
+  ring_capacity_ = ring_capacity;
+  sharded_ = std::make_unique<sim::ShardedScheduler>(shards, threads);
+}
+
+void Network::assign_shard(const std::string& node, int shard) {
+  if (sharded_ == nullptr || shard < 0 || shard >= sharded_->shard_count() ||
+      nodes_.count(node) != 0) {
+    std::fprintf(stderr,
+                 "Network::assign_shard: sharding off, shard out of range, "
+                 "or node '%s' already exists\n", node.c_str());
+    std::abort();
+  }
+  shard_plan_[node] = shard;
+}
+
+int Network::shard_of(const std::string& node) const {
+  auto it = shard_plan_.find(node);
+  return it == shard_plan_.end() ? 0 : it->second;
 }
 
 std::uint32_t Network::dif_id_for(const naming::DifName& dif) {
@@ -209,14 +242,23 @@ naming::Address Network::allocate_dif_address(const naming::DifName& dif) {
 
 sim::Link& Network::add_link(const std::string& a, const std::string& b,
                              const LinkOpts& opts) {
-  node(a);
-  node(b);
+  Node& na = node(a);
+  Node& nb = node(b);
   sim::LinkConfig cfg = opts.to_config();
   auto rec = std::make_unique<LinkRec>();
   rec->a = a;
   rec->b = b;
-  rec->link = std::make_unique<sim::Link>(sched_, cfg,
+  // Each endpoint's timers (serialization, delivery) run on its own
+  // node's shard; on an unsharded Network both resolve to sched_.
+  rec->link = std::make_unique<sim::Link>(na.sched(), nb.sched(), cfg,
                                           seed_ * 0x9e3779b9ULL + ++link_seq_, a, b);
+  if (sharded_ && na.shard_ != nb.shard_) {
+    sharded_->note_cross_delay(cfg.delay);  // aborts on non-positive delay
+    rec->link->set_cross(
+        0, &sharded_->add_boundary(na.shard_, nb.shard_, ring_capacity_));
+    rec->link->set_cross(
+        1, &sharded_->add_boundary(nb.shard_, na.shard_, ring_capacity_));
+  }
   auto* raw = rec.get();
   // NIC demux: frames carry a dif-id prefix; carrier and ready events fan
   // out to every DIF attached on the endpoint. The prefix is pulled off
@@ -365,7 +407,7 @@ Result<void> Network::build_link_dif(DifSpec spec) {
   }
   // Build is a bootstrap: run the exchange (hellos, LSU flood, SPF) so
   // the DIF is ready for service when this returns.
-  sched_.run_for(SimTime::from_ms(100));
+  run_for(SimTime::from_ms(100));
   return Ok();
 }
 
@@ -525,7 +567,7 @@ Result<void> Network::build_overlay_dif(DifSpec spec, std::vector<OverlayAdj> ad
   // Let the lower flows come up and the overlay's routing converge. The
   // slowest path is a directory-miss retry (100 ms) before the lower
   // flow allocation, then LSU flood + debounced SPF.
-  sched_.run_for(SimTime::from_ms(400));
+  run_for(SimTime::from_ms(400));
   return Ok();
 }
 
@@ -591,7 +633,7 @@ std::uint64_t Network::sum_dif_counter(const naming::DifName& dif,
 
 std::uint64_t Network::sum_link_counter(const std::string& counter) const {
   std::uint64_t total = 0;
-  for (const auto& rec : links_) total += rec->link->stats().get(counter);
+  for (const auto& rec : links_) total += rec->link->counter(counter);
   return total;
 }
 

@@ -34,6 +34,7 @@
 #include "naming/names.hpp"
 #include "sim/link.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 
 namespace rina::node {
 
@@ -83,6 +84,9 @@ class Node : public ipcp::IpcpHost {
   std::shared_ptr<Stats> node_stats() override { return stats_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// Shard this node (and every IPCP, flow and timer it owns) lives on.
+  /// 0 unless the Network is sharded and a plan said otherwise.
+  [[nodiscard]] int shard() const { return shard_; }
   /// Per-node app-edge counters (app_write_bad_port, alloc_no_such_cube).
   Stats& stats() { return *stats_; }
 
@@ -120,6 +124,7 @@ class Node : public ipcp::IpcpHost {
   friend class Network;
   Network& net_;
   std::string name_;
+  int shard_ = 0;
   std::map<std::string, std::unique_ptr<ipcp::Ipcp>> ipcps_;  // by DIF name
   flow::PortId next_port_ = 1;
   std::vector<flow::PortId> free_ports_;  // retired ids, recycled LIFO
@@ -142,12 +147,43 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// The single-shard scheduler. Valid only on an unsharded Network;
+  /// sharded callers go through node(...).sched() or run_for/run_until.
   sim::Scheduler& sched() { return sched_; }
-  [[nodiscard]] SimTime now() const { return sched_.now(); }
-  void run_for(SimTime d) { sched_.run_for(d); }
+  [[nodiscard]] SimTime now() const {
+    return sharded_ ? sharded_->now() : sched_.now();
+  }
+  void run_for(SimTime d) {
+    if (sharded_) sharded_->run_for(d);
+    else sched_.run_for(d);
+  }
   template <typename Pred>
   bool run_until(Pred&& pred, SimTime timeout) {
+    if (sharded_) return sharded_->run_until_pred(pred, sharded_->now() + timeout);
     return sched_.run_until_pred(pred, sched_.now() + timeout);
+  }
+
+  /// Partition the simulation into `shards` wheels driven by `threads`
+  /// workers (sim::ShardedScheduler). Must be called before any node or
+  /// link exists — a node's shard is fixed at creation. Nodes default to
+  /// shard 0; assign_shard places them. Cross-shard links need positive
+  /// delay (it bounds the conservative lookahead) and pay a ring
+  /// crossing per frame, so put chatty neighbors on the same shard.
+  void enable_sharding(int shards, int threads, std::size_t ring_capacity = 256);
+  /// Plan `node` onto `shard`. Must precede the node's creation (first
+  /// mention in add_link or node()).
+  void assign_shard(const std::string& node, int shard);
+  [[nodiscard]] bool sharded() const { return sharded_ != nullptr; }
+  [[nodiscard]] int shard_of(const std::string& node) const;
+  /// The sharded driver, or nullptr (cross-traffic counters, windows).
+  [[nodiscard]] sim::ShardedScheduler* sharded_sched() { return sharded_.get(); }
+  /// Total events executed / timers pending across every shard (or the
+  /// one scheduler) — the benches' events/sec numerator.
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return sharded_ ? sharded_->executed() : sched_.executed();
+  }
+  [[nodiscard]] std::size_t timers_pending() const {
+    return sharded_ ? sharded_->pending() : sched_.pending();
   }
 
   Node& node(const std::string& name);
@@ -270,6 +306,12 @@ class Network {
                                      const std::string& node_name);
 
   sim::Scheduler sched_;
+  // Sharded driver, engaged by enable_sharding. Declared before nodes_
+  // and links_ so both outlive-order correctly: nodes and links are
+  // destroyed first, while the workers are parked.
+  std::unique_ptr<sim::ShardedScheduler> sharded_;
+  std::map<std::string, int> shard_plan_;
+  std::size_t ring_capacity_ = 256;
   std::uint64_t seed_;
   std::uint64_t link_seq_ = 0;
   std::uint32_t next_dif_id_ = 1;

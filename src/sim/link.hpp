@@ -9,13 +9,31 @@
 // signal the RMT turns into queueing above the NIC. Frames in flight
 // when the link goes down are lost (epoch check at delivery).
 //
-// Batching: instead of scheduling one closure per frame (two, in fact:
-// serialization-done and propagation-done), each direction keeps two
-// monotone deques — serialization completion times and in-flight frames
-// with delivery times — and holds exactly one armed Timer per deque,
-// set to the head's due time. A firing drains every entry that has come
-// due, so a burst of back-to-back frames costs two scheduler events
-// total rather than two per frame.
+// Event economy: each direction keeps two monotone deques —
+// serialization completion times and in-flight frames with delivery
+// times — and holds exactly one armed Timer per deque, set to the
+// head's due time; a firing handles ONE entry and re-arms at the new
+// head. Every frame reserves its two tie-break sequence numbers
+// (serialization, then delivery) from the scheduler at send() time via
+// reserve_seq, and deferred arming replays them with schedule_at_seq,
+// so among equal-time events the firing order is exactly the send
+// order — byte-identical to scheduling two closures per frame eagerly,
+// at one live timer per deque.
+//
+// Sharding: a direction whose endpoints live on different shards is
+// wired to a sim::Boundary (set_cross). Serialization still runs on
+// the sender's shard (the tx FIFO is sender state); the frame itself
+// crosses in the boundary's SPSC ring stamped with its delivery time
+// and reserved seq, and the receiving shard posts the delivery when it
+// drains the ring at its next window start. The conservative window
+// protocol guarantees the delivery time is still in that shard's
+// future. Cross directions get a private GE rng (the shared per-link
+// rng would be written from two shards); intra-shard links keep the
+// shared rng so single-shard runs reproduce pre-sharding outputs.
+//
+// Counters are per-direction plain fields — tx-side fields written
+// only by the sender's shard, rx_frames only by the receiver's —
+// summed on demand by counter(name) (driver thread, between windows).
 #pragma once
 
 #include <cstdint>
@@ -28,8 +46,8 @@
 
 #include "common/bytes.hpp"
 #include "common/packet.hpp"
-#include "common/stats.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 
 namespace rina::sim {
 
@@ -71,10 +89,14 @@ class Link {
  public:
   class Endpoint;
 
-  Link(Scheduler& sched, LinkConfig cfg, std::uint64_t seed, std::string a,
-       std::string b)
-      : sched_(sched),
+  /// General form: endpoint a's scheduler and endpoint b's. They are
+  /// the same object unless the endpoints live on different shards.
+  Link(Scheduler& sched_a, Scheduler& sched_b, LinkConfig cfg,
+       std::uint64_t seed, std::string a, std::string b)
+      : sched_a_(sched_a),
+        sched_b_(sched_b),
         cfg_(cfg),
+        seed_(seed),
         rng_(seed),
         name_a_(std::move(a)),
         name_b_(std::move(b)),
@@ -83,18 +105,31 @@ class Link {
       dir_[0].ge.emplace(*cfg_.ge);
       dir_[1].ge.emplace(*cfg_.ge);
     }
-    c_tx_attempts_ = stats_.slot("tx_attempts");
-    c_tx_carrier_lost_ = stats_.slot("tx_carrier_lost");
-    c_queue_drops_ = stats_.slot("queue_drops");
-    c_tx_frames_ = stats_.slot("tx_frames");
-    c_tx_bytes_ = stats_.slot("tx_bytes");
-    c_tx_frames_large_ = stats_.slot("tx_frames_large");
-    c_ge_lost_ = stats_.slot("ge_lost");
-    c_rx_frames_ = stats_.slot("rx_frames");
   }
+
+  Link(Scheduler& sched, LinkConfig cfg, std::uint64_t seed, std::string a,
+       std::string b)
+      : Link(sched, sched, cfg, seed, std::move(a), std::move(b)) {}
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
+
+  /// Route direction `side` (frames sent by endpoint `side`) through a
+  /// shard boundary instead of the local scheduler. The boundary's src
+  /// shard must own endpoint `side`, its dst shard the other endpoint.
+  /// Call once per direction, before traffic, from the driver thread.
+  void set_cross(int side, Boundary* out) {
+    Direction& d = dir_[side];
+    d.xout = out;
+    // A private GE channel per cross direction: the shared rng_ would
+    // be advanced from two shards. Seed derivation is fixed so results
+    // do not depend on wiring order.
+    if (d.ge)
+      d.own_rng.emplace(seed_ ^ (0x9e3779b97f4a7c15ULL * (side + 1)));
+    out->set_sink([this, side](CrossEntry&& e) {
+      deliver_cross(side, std::move(e));
+    });
+  }
 
   class Endpoint {
    public:
@@ -137,6 +172,7 @@ class Link {
   [[nodiscard]] const std::string& name_a() const { return name_a_; }
   [[nodiscard]] const std::string& name_b() const { return name_b_; }
 
+  /// Driver thread only (shared state read by both directions).
   void set_up(bool up) {
     if (up_ == up) return;
     up_ = up;
@@ -145,12 +181,37 @@ class Link {
       if (carrier_cb_[s]) carrier_cb_[s](up);
   }
 
-  Stats& stats() { return stats_; }
+  /// Both directions summed; read quiesced (between windows). Unknown
+  /// names read 0.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    std::uint64_t v = 0;
+    for (const Direction& d : dir_) {
+      if (name == "tx_attempts") v += d.tx_attempts;
+      else if (name == "tx_carrier_lost") v += d.tx_carrier_lost;
+      else if (name == "queue_drops") v += d.queue_drops;
+      else if (name == "tx_frames") v += d.tx_frames;
+      else if (name == "tx_bytes") v += d.tx_bytes;
+      else if (name == "tx_frames_large") v += d.tx_frames_large;
+      else if (name == "ge_lost") v += d.ge_lost;
+      else if (name == "rx_frames") v += d.rx_frames;
+      else if (name == "xshard_frames") v += d.xshard_frames;
+      else if (name == "xshard_drops") v += d.xshard_drops;
+      else if (name == "xshard_copies") v += d.xshard_copies;
+    }
+    return v;
+  }
+
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
 
  private:
+  struct SerDone {
+    SimTime at;
+    std::uint64_t seq;  // reserved at send(); replayed when arming
+  };
+
   struct InFlight {
     SimTime at;
+    std::uint64_t seq;
     std::uint64_t epoch;
     bool lost;
     Packet frame;
@@ -159,10 +220,10 @@ class Link {
   struct Direction {
     SimTime busy_until{};
     std::size_t queued = 0;
-    std::deque<SimTime> ser_done;    // serialization completions, monotone
-    std::deque<InFlight> inflight;   // deliveries, monotone
-    Timer tx_timer;                  // armed at ser_done.front()
-    Timer rx_timer;                  // armed at inflight.front().at
+    std::deque<SerDone> ser_done;   // serialization completions, monotone
+    std::deque<InFlight> inflight;  // deliveries, monotone (intra-shard)
+    Timer tx_timer;                 // armed at ser_done.front()
+    Timer rx_timer;                 // armed at inflight.front().at
     // Mirrors of {tx,rx}_timer.armed(), maintained at the only two
     // transition points (arm here, clear at fire entry). armed() walks
     // the scheduler's node pool — a guaranteed cache miss per frame on
@@ -172,87 +233,154 @@ class Link {
     std::function<void(Packet&&)> deliver;
     std::function<void()> on_ready;
     std::optional<GilbertElliottLoss> ge;
+    Boundary* xout = nullptr;                // cross-shard egress, or null
+    std::optional<std::mt19937_64> own_rng;  // GE rng for cross directions
+    // Sender-shard counters (everything below but rx_frames):
+    std::uint64_t tx_attempts = 0;
+    std::uint64_t tx_carrier_lost = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t tx_frames = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t tx_frames_large = 0;
+    std::uint64_t ge_lost = 0;
+    std::uint64_t xshard_frames = 0;  // entries handed to the boundary
+    std::uint64_t xshard_drops = 0;   // boundary ring full
+    std::uint64_t xshard_copies = 0;  // deep copies forced by shared bufs
+    // Receiver-shard counter, deliberately alone:
+    std::uint64_t rx_frames = 0;
   };
+
+  /// Scheduler owning the SENDING endpoint of direction `side`.
+  [[nodiscard]] Scheduler& tx_sched(int side) {
+    return side == 0 ? sched_a_ : sched_b_;
+  }
+  /// Scheduler owning the RECEIVING endpoint of direction `side`.
+  [[nodiscard]] Scheduler& rx_sched(int side) {
+    return side == 0 ? sched_b_ : sched_a_;
+  }
 
   bool send_from(int side, Packet&& frame) {
     Direction& d = dir_[side];
-    ++*c_tx_attempts_;
+    Scheduler& sch = tx_sched(side);
+    ++d.tx_attempts;
     if (!up_) {
-      ++*c_tx_carrier_lost_;
+      ++d.tx_carrier_lost;
       return true;  // accepted and lost: dead fiber, not backpressure
     }
     if (d.queued >= cfg_.queue_pkts) {
-      ++*c_queue_drops_;
+      ++d.queue_drops;
       return false;
     }
     ++d.queued;
-    ++*c_tx_frames_;
-    *c_tx_bytes_ += frame.size();
-    if (frame.size() >= 512) ++*c_tx_frames_large_;
+    ++d.tx_frames;
+    d.tx_bytes += frame.size();
+    if (frame.size() >= 512) ++d.tx_frames_large;
 
     SimTime tx_time =
         SimTime::from_sec(static_cast<double>(frame.size()) * 8.0 / cfg_.rate_bps);
-    SimTime start = sched_.now() < d.busy_until ? d.busy_until : sched_.now();
+    SimTime start = sch.now() < d.busy_until ? d.busy_until : sch.now();
     d.busy_until = start + tx_time;
-    bool lost = d.ge && d.ge->lose(rng_);
-    if (lost) ++*c_ge_lost_;
+    bool lost = d.ge && d.ge->lose(d.own_rng ? *d.own_rng : rng_);
+    if (lost) ++d.ge_lost;
 
-    d.ser_done.push_back(d.busy_until);
-    d.inflight.push_back(
-        InFlight{d.busy_until + cfg_.delay, epoch_, lost, std::move(frame)});
+    // Reserve both tie-break seqs NOW, serialization before delivery —
+    // the stream order a per-frame eager scheduler would have produced.
+    std::uint64_t ser_seq = sch.reserve_seq();
+    std::uint64_t rx_seq = sch.reserve_seq();
+    SimTime deliver_at = d.busy_until + cfg_.delay;
+
+    d.ser_done.push_back(SerDone{d.busy_until, ser_seq});
+    if (d.xout) {
+      if (!lost) {
+        // The PacketBuf refcount is not atomic: a frame crossing shards
+        // must own its buffer exclusively. Shared buffers (e.g. a
+        // multicast of one arena buf) are deep-copied — counted, rare.
+        if (!frame.unique()) {
+          ++d.xshard_copies;
+          frame = Packet::with_headroom(frame.headroom(), frame.view());
+        }
+        if (d.xout->push(CrossEntry{deliver_at.ns, rx_seq, epoch_, 0,
+                                    std::move(frame)}))
+          ++d.xshard_frames;
+        else
+          ++d.xshard_drops;
+      }
+    } else {
+      d.inflight.push_back(
+          InFlight{deliver_at, rx_seq, epoch_, lost, std::move(frame)});
+      if (!d.rx_armed) {
+        d.rx_armed = true;
+        d.rx_timer = rx_sched(side).schedule_at_seq(
+            d.inflight.front().at, d.inflight.front().seq,
+            [this, side] { rx_fire(side); });
+      }
+    }
     if (!d.tx_armed) {
       d.tx_armed = true;
-      d.tx_timer =
-          sched_.schedule_at(d.ser_done.front(), [this, side] { tx_fire(side); });
-    }
-    if (!d.rx_armed) {
-      d.rx_armed = true;
-      d.rx_timer = sched_.schedule_at(d.inflight.front().at,
-                                      [this, side] { rx_fire(side); });
+      d.tx_timer = sch.schedule_at_seq(d.ser_done.front().at,
+                                       d.ser_done.front().seq,
+                                       [this, side] { tx_fire(side); });
     }
     return true;
   }
 
-  /// Serialization completed for every frame due by now: free the FIFO
-  /// slots in a burst. on_ready may send reentrantly; deque push_back
-  /// during the drain is fine and the re-arm below accounts for it.
+  /// Serialization completed for the head frame: free its FIFO slot and
+  /// re-arm at the next head with its reserved seq. on_ready may send
+  /// reentrantly; the re-arm check below accounts for it.
   void tx_fire(int side) {
     Direction& d = dir_[side];
     d.tx_armed = false;  // this firing consumed the armed timer
-    while (!d.ser_done.empty() && d.ser_done.front() <= sched_.now()) {
-      d.ser_done.pop_front();
-      bool was_full = d.queued >= cfg_.queue_pkts;
-      if (d.queued > 0) --d.queued;
-      if (was_full && d.on_ready) d.on_ready();
-    }
+    d.ser_done.pop_front();
+    bool was_full = d.queued >= cfg_.queue_pkts;
+    if (d.queued > 0) --d.queued;
+    if (was_full && d.on_ready) d.on_ready();
     if (!d.ser_done.empty() && !d.tx_armed) {
       d.tx_armed = true;
-      d.tx_timer =
-          sched_.schedule_at(d.ser_done.front(), [this, side] { tx_fire(side); });
+      d.tx_timer = tx_sched(side).schedule_at_seq(
+          d.ser_done.front().at, d.ser_done.front().seq,
+          [this, side] { tx_fire(side); });
     }
   }
 
-  /// Propagation completed for every frame due by now: deliver the burst
-  /// unless lost or the carrier died since (epoch mismatch).
+  /// Propagation completed for the head frame: deliver it unless lost
+  /// or the carrier died since (epoch mismatch), re-arm at the next.
   void rx_fire(int side) {
     Direction& d = dir_[side];
     d.rx_armed = false;  // this firing consumed the armed timer
-    while (!d.inflight.empty() && d.inflight.front().at <= sched_.now()) {
-      InFlight f = std::move(d.inflight.front());
-      d.inflight.pop_front();
-      if (f.lost || !up_ || f.epoch != epoch_) continue;
-      ++*c_rx_frames_;
-      if (d.deliver) d.deliver(std::move(f.frame));
-    }
+    InFlight f = std::move(d.inflight.front());
+    d.inflight.pop_front();
     if (!d.inflight.empty() && !d.rx_armed) {
       d.rx_armed = true;
-      d.rx_timer = sched_.schedule_at(d.inflight.front().at,
-                                      [this, side] { rx_fire(side); });
+      d.rx_timer = rx_sched(side).schedule_at_seq(
+          d.inflight.front().at, d.inflight.front().seq,
+          [this, side] { rx_fire(side); });
     }
+    if (f.lost || !up_ || f.epoch != epoch_) return;
+    ++d.rx_frames;
+    if (d.deliver) d.deliver(std::move(f.frame));
   }
 
-  Scheduler& sched_;
+  /// Boundary sink: runs on the RECEIVING shard when it drains the ring
+  /// at a window start. The conservative protocol guarantees
+  /// e.at_ns >= that shard's clock; post the delivery there. Ordering
+  /// across boundaries is fixed by the drain's (time, boundary, seq)
+  /// merge sort, so the post_at order — and with it the destination
+  /// seqs — is thread-count-invariant.
+  void deliver_cross(int side, CrossEntry&& e) {
+    rx_sched(side).post_at(
+        SimTime{e.at_ns},
+        [this, side, epoch = e.epoch, f = std::move(e.frame)]() mutable {
+          Direction& d = dir_[side];
+          if (!up_ || epoch != epoch_) return;
+          ++d.rx_frames;
+          if (d.deliver) d.deliver(std::move(f));
+        });
+  }
+
+  Scheduler& sched_a_;
+  Scheduler& sched_b_;
   LinkConfig cfg_;
+  std::uint64_t seed_;
   std::mt19937_64 rng_;
   std::string name_a_, name_b_;
   Direction dir_[2];
@@ -260,17 +388,6 @@ class Link {
   std::function<void(bool)> carrier_cb_[2];
   bool up_ = true;
   std::uint64_t epoch_ = 0;
-  Stats stats_;
-  // Cached per-frame counter cells (see Stats::slot); resolved once in
-  // the constructor so the datapath never touches the string map.
-  std::uint64_t* c_tx_attempts_ = nullptr;
-  std::uint64_t* c_tx_carrier_lost_ = nullptr;
-  std::uint64_t* c_queue_drops_ = nullptr;
-  std::uint64_t* c_tx_frames_ = nullptr;
-  std::uint64_t* c_tx_bytes_ = nullptr;
-  std::uint64_t* c_tx_frames_large_ = nullptr;
-  std::uint64_t* c_ge_lost_ = nullptr;
-  std::uint64_t* c_rx_frames_ = nullptr;
 };
 
 }  // namespace rina::sim

@@ -120,6 +120,26 @@ class Scheduler {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Draw a tie-break sequence number from the same stream schedule_*
+  /// consumes, without creating an event. Paired with schedule_at_seq:
+  /// a caller that decides the order of several future events *now* but
+  /// arms their timers lazily (one armed timer over a deque is the Link
+  /// pattern) reserves each event's seq at decision time, so equal-time
+  /// firings run in decision order — exactly as if every event had been
+  /// scheduled eagerly at that moment.
+  [[nodiscard]] std::uint64_t reserve_seq() noexcept { return seq_++; }
+
+  /// One-shot at absolute t with a caller-reserved seq (from
+  /// reserve_seq). The seq only breaks ties among equal-time events;
+  /// arming order is free.
+  [[nodiscard]] Timer schedule_at_seq(SimTime t, std::uint64_t seq, Fn fn) {
+    std::uint32_t i = new_node(clamp(t), 0, std::move(fn), /*detached=*/false);
+    --seq_;              // undo new_node's draw: this event's seq was
+    pool_[i].seq = seq;  // reserved earlier; the stream must not shift
+    place(i);
+    return Timer{this, i, pool_[i].gen};
+  }
+
   /// Refires every `interval` (first firing at now+interval) until the
   /// handle is cancelled. The closure is stored once and reused.
   [[nodiscard]] Timer periodic(SimTime interval, Fn fn) {
@@ -467,6 +487,12 @@ class Scheduler {
         }
         tick_ = cand;
         cascade(level, static_cast<std::uint32_t>(s));
+        // The cascade may have re-placed nodes of the entered span
+        // straight into the due heap (tick == cursor). They are this
+        // refill's answer: returning without this check would strand
+        // them past their time whenever the NEXT occupied slot lies
+        // beyond limit_tk — a silently late event in a bounded run.
+        if (due_live_ > 0) return true;
         advanced = true;
         break;
       }

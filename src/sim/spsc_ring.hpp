@@ -1,0 +1,106 @@
+// spsc_ring.hpp — fixed-capacity lock-free single-producer /
+// single-consumer ring (the ndn-dpdk dpdk/ringbuffer shape).
+//
+// One atomic producer index, one atomic consumer index, capacity rounded
+// up to a power of two so position math is a mask. Indices are free-
+// running 64-bit counters (they never wrap in any simulation's
+// lifetime), so full is `tail - head > mask` and empty is `tail == head`
+// with no reserved slot. Each side keeps a cached copy of the *other*
+// side's index and refreshes it (acquire) only when the cache says the
+// operation would fail — the common push/pop touches exactly one shared
+// cache line, its own index's.
+//
+// Memory ordering: the producer's release store of tail_ publishes the
+// fully constructed entry; the consumer's acquire load of tail_ observes
+// it. Symmetrically head_ publishes the slot reclaim (the consumer
+// clears the slot to T{} before bumping head_, so payload resources are
+// dropped at pop time, and the producer's overwrite of a reclaimed slot
+// is ordered by its acquire of head_). Exactly one thread may push and
+// one may pop at a time; either role may migrate between threads if the
+// migration itself is synchronized (the sharded scheduler's window
+// barrier provides that).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rina::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; `capacity` slots are
+  /// usable (a capacity-1 ring holds one entry).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer. False when full; the entry is left untouched.
+  bool push(T&& v) {
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {  // looks full: refresh the cache
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;
+    }
+    buf_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: the oldest entry, or nullptr when empty. The pointer is
+  /// valid until the next pop().
+  [[nodiscard]] const T* front() {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {  // looks empty: refresh the cache
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return nullptr;
+    }
+    return &buf_[h & mask_];
+  }
+
+  /// Consumer. False when empty.
+  bool pop(T* out) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    *out = std::move(buf_[h & mask_]);
+    buf_[h & mask_] = T{};  // release payload resources now, not at overwrite
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Occupancy. Approximate while both sides are live (each index may be
+  /// a stale snapshot); exact when the ring is quiescent.
+  [[nodiscard]] std::size_t size() const {
+    std::uint64_t t = tail_.load(std::memory_order_acquire);
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    return t > h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  // Producer-owned line: its index plus its cache of the consumer's.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  // Consumer-owned line, symmetrically.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace rina::sim

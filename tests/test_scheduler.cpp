@@ -79,9 +79,9 @@ static void link_serialization_rate() {
   s.run();
   // 1000 bytes at 1 byte/us = 1 ms serialization + 100 us propagation.
   CHECK_NEAR(arrival.to_us(), 1100.0, 1.0);
-  CHECK(link.stats().get("tx_frames") == 1);
-  CHECK(link.stats().get("tx_frames_large") == 1);
-  CHECK(link.stats().get("rx_frames") == 1);
+  CHECK(link.counter("tx_frames") == 1);
+  CHECK(link.counter("tx_frames_large") == 1);
+  CHECK(link.counter("rx_frames") == 1);
 }
 
 static void link_down_loses_frames() {
@@ -112,7 +112,36 @@ static void link_queue_backpressure() {
   CHECK(link.a().send(Packet{Bytes(10, 0)}));
   CHECK(link.a().send(Packet{Bytes(10, 0)}));
   CHECK(!link.a().send(Packet{Bytes(10, 0)}));  // FIFO full
-  CHECK(link.stats().get("queue_drops") == 1);
+  CHECK(link.counter("queue_drops") == 1);
+}
+
+static void link_tie_break_send_order() {
+  // Two links delivering into the same node at the same instant: the
+  // arrival order is pinned to SEND order (each send reserves its
+  // serialization and delivery seqs at the moment of the send), not to
+  // per-link drain order. L1 serializes a 10-byte frame in 10 ns, L2 in
+  // 20 ns, both with 100 ns propagation: A(L1) lands alone at 110 ns,
+  // then C(L1, queued behind A) and B(L2) tie at 120 ns — and C wins
+  // because its send happened before B's.
+  sim::Scheduler s;
+  sim::LinkConfig fast, slow;
+  fast.rate_bps = 8e9;
+  fast.delay = SimTime{100};
+  slow.rate_bps = 4e9;
+  slow.delay = SimTime{100};
+  sim::Link l1(s, fast, 1, "a", "b");
+  sim::Link l2(s, slow, 2, "a", "b");
+  std::vector<char> order;
+  l1.b().set_receiver(
+      [&](Packet&& p) { order.push_back(static_cast<char>(p.view()[0])); });
+  l2.b().set_receiver(
+      [&](Packet&& p) { order.push_back(static_cast<char>(p.view()[0])); });
+  CHECK(l1.a().send(Packet{Bytes(10, 'A')}));
+  CHECK(l1.a().send(Packet{Bytes(10, 'C')}));
+  CHECK(l2.a().send(Packet{Bytes(10, 'B')}));
+  s.run();
+  CHECK(order == (std::vector<char>{'A', 'C', 'B'}));
+  CHECK(s.now().ns == 120);
 }
 
 static void gilbert_elliott_loses() {
@@ -134,7 +163,7 @@ static void gilbert_elliott_loses() {
   }
   CHECK(rx < 500);  // some loss...
   CHECK(rx > 100);  // ...but not everything
-  CHECK(link.stats().get("ge_lost") == 500 - static_cast<unsigned>(rx));
+  CHECK(link.counter("ge_lost") == 500 - static_cast<unsigned>(rx));
 }
 
 int main() {
@@ -146,6 +175,7 @@ int main() {
   link_serialization_rate();
   link_down_loses_frames();
   link_queue_backpressure();
+  link_tie_break_send_order();
   gilbert_elliott_loses();
   return TEST_MAIN_RESULT();
 }

@@ -368,6 +368,38 @@ void counters_and_drain() {
   (void)a;
 }
 
+// Regression: a bounded run_until must fire EVERY event at or before
+// its bound. The refill_due cascade branch used to re-place an event
+// sitting exactly on a coarse slot boundary into the due heap, keep
+// scanning, hit the next occupied slot beyond the bound, and return
+// "nothing due" with the live event stranded — it then fired a full
+// run_* call late. Random times plus a bias onto coarse boundaries and
+// a far-future event reproduce the exact shape.
+void bounded_runs_fire_everything_due() {
+  sim::Scheduler s;
+  std::mt19937_64 rng(99);
+  constexpr int kEvents = 2000;
+  std::vector<std::int64_t> when(kEvents);
+  std::vector<char> fired(kEvents, 0);
+  for (int i = 0; i < kEvents; ++i) {
+    auto ns = static_cast<std::int64_t>(rng() % 400000000ULL);  // < 400 ms
+    if (i % 4 == 0) ns &= ~((std::int64_t{1} << 18) - 1);  // coarse boundary
+    when[static_cast<std::size_t>(i)] = ns;
+    s.post_at(SimTime{ns}, [&fired, i] { fired[static_cast<std::size_t>(i)] = 1; });
+  }
+  s.post_at(SimTime::from_sec(500), [] {});  // always beyond the bound
+  int stranded = 0;
+  for (std::int64_t t_ms = 1; t_ms <= 401; ++t_ms) {
+    s.run_until(SimTime::from_ms(t_ms));
+    for (int i = 0; i < kEvents; ++i) {
+      if (when[static_cast<std::size_t>(i)] <= s.now().ns &&
+          !fired[static_cast<std::size_t>(i)])
+        ++stranded;
+    }
+  }
+  CHECK(stranded == 0);
+}
+
 }  // namespace
 
 int main() {
@@ -379,5 +411,6 @@ int main() {
   overflow_cascade();
   periodic_cadence();
   counters_and_drain();
+  bounded_runs_fire_everything_due();
   return TEST_MAIN_RESULT();
 }
