@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <optional>
@@ -147,9 +149,18 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// The single-shard scheduler. Valid only on an unsharded Network;
-  /// sharded callers go through node(...).sched() or run_for/run_until.
-  sim::Scheduler& sched() { return sched_; }
+  /// The single-shard scheduler. Aborts on a sharded Network — sched_
+  /// owns no nodes there, so a caller driving it would silently run an
+  /// empty wheel; go through node(...).sched() or run_for/run_until.
+  sim::Scheduler& sched() {
+    if (sharded_) {
+      std::fprintf(stderr,
+                   "Network::sched: invalid on a sharded Network; use "
+                   "node(...).sched() or run_for/run_until\n");
+      std::abort();
+    }
+    return sched_;
+  }
   [[nodiscard]] SimTime now() const {
     return sharded_ ? sharded_->now() : sched_.now();
   }

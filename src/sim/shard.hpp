@@ -15,12 +15,15 @@
 //
 // Cross-shard PDUs travel in fixed-capacity SPSC rings, one per link
 // direction (producer: the sending shard; consumer: the receiving
-// shard). Entries are stamped with the producer's window number, so the
-// consumer drains exactly the completed windows' entries with ONE
-// barrier per window, even while the producer is already pushing the
-// current window's entries. A full ring is a deterministic drop: rings
-// drain only at window boundaries, so occupancy at any push is a pure
-// function of the event program, independent of thread count.
+// shard). Each window executes in TWO phases separated by a barrier:
+// first every shard drains its inbound rings (all of whose entries
+// belong to completed windows) and delivers them in merged
+// deterministic order; then, only after every drain has finished, the
+// wheels run the window and push this window's crossings. All drains
+// therefore happen-before all same-window pushes, so ring occupancy at
+// any push equals the number of pushes already made this window by the
+// (single) producer — a pure function of the event program. A full ring
+// is a deterministic drop, never a thread-timing artifact.
 //
 // Determinism — the contract every bench table leans on: results are a
 // function of the shard PLAN, never of the THREAD count. The shard
@@ -32,8 +35,10 @@
 //
 // Threading: `threads`-1 std::threads plus the driver thread itself
 // running block 0 (threads=1 spawns none and runs inline — the
-// single-thread baseline pays zero synchronization). One condvar
-// dispatch plus one completion per window. Everything outside
+// single-thread baseline pays zero synchronization). Two condvar
+// dispatch/completion rounds per window — drain, barrier, run — the
+// barrier being what keeps ring-full drops deterministic (see above).
+// Everything outside
 // dispatch_window — construction, control-plane calls between windows,
 // counter reads — happens on the driver thread while workers are
 // parked; the dispatch mutex orders those accesses against worker
@@ -71,16 +76,18 @@ struct CrossEntry {
 };
 
 /// One direction of one cross-shard link: an SPSC ring written by the
-/// source shard during its window and drained by the destination shard
-/// at its next window start.
+/// source shard during its run phase and drained empty by the
+/// destination shard in the next window's drain phase.
 class Boundary {
  public:
   Boundary(std::uint32_t id, int src_shard, int dst_shard, std::size_t capacity)
       : id_(id), src_(src_shard), dst_(dst_shard), ring_(capacity) {}
 
-  /// Producer side (the source shard's worker during its window, or the
-  /// driver thread between windows). Stamps the current window number.
-  /// False = ring full, a deterministic drop; the caller counts it.
+  /// Producer side (the source shard's worker during its run phase, or
+  /// the driver thread between windows). Stamps the current window
+  /// number. False = ring full, a deterministic drop; the caller counts
+  /// it. Drains are barriered ahead of the run phase, so at any push
+  /// the ring holds only this window's earlier pushes.
   bool push(CrossEntry&& e) {
     e.window = window_;
     if (ring_.push(std::move(e))) {
@@ -255,16 +262,21 @@ class ShardedScheduler {
   [[nodiscard]] int block_lo(int j) const { return j * nshards_ / nworkers_; }
   [[nodiscard]] int block_hi(int j) const { return (j + 1) * nshards_ / nworkers_; }
 
-  /// One shard's window: stamp outbound rings, drain completed inbound
-  /// windows in deterministic merge order, then run the wheel.
-  void run_shard_window(int s, SimTime wend) {
+  enum class Phase { kDrain, kRun };
+
+  /// Drain phase of one shard's window: stamp outbound rings with the
+  /// new window number, then pop the inbound rings empty and deliver in
+  /// deterministic merge order. Every shard's drain completes (barrier
+  /// in dispatch_window) before any shard's run phase pushes, so the
+  /// rings hold only completed-window entries here.
+  void drain_shard(int s) {
     auto si = static_cast<std::size_t>(s);
     for (Boundary* b : outbound_[si]) b->window_ = window_;
     auto& scratch = scratch_[si];
     scratch.clear();
     for (Boundary* b : inbound_[si]) {
       while (const CrossEntry* e = b->ring_.front()) {
-        if (e->window >= window_) break;  // current window: not ours yet
+        if (e->window >= window_) break;  // unreachable post-barrier; guard
         Drained d;
         d.bid = b->id_;
         d.b = b;
@@ -283,38 +295,59 @@ class ShardedScheduler {
               });
     for (Drained& d : scratch)
       if (d.b->sink_) d.b->sink_(std::move(d.e));
-    shards_[si]->run_until(wend);
   }
 
-  void dispatch_window(SimTime wend) {
-    if (threads_.empty()) {  // single-thread: inline, no synchronization
-      for (int s = 0; s < nshards_; ++s) run_shard_window(s, wend);
-      return;
+  void exec_block(int j, Phase p, SimTime wend) {
+    for (int s = block_lo(j); s < block_hi(j); ++s) {
+      if (p == Phase::kDrain)
+        drain_shard(s);
+      else
+        shards_[static_cast<std::size_t>(s)]->run_until(wend);
     }
+  }
+
+  void dispatch_phase(Phase p, SimTime wend) {
     {
       std::lock_guard<std::mutex> lk(mu_);
+      job_phase_ = p;
       job_wend_ = wend;
       ++gen_;
       remaining_ = static_cast<int>(threads_.size());
     }
     cv_work_.notify_all();
-    for (int s = block_lo(0); s < block_hi(0); ++s) run_shard_window(s, wend);
+    exec_block(0, p, wend);
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [this] { return remaining_ == 0; });
+  }
+
+  /// Two phases with a barrier between: all drains happen-before all
+  /// same-window pushes, so ring occupancy at a push — and hence every
+  /// full/drop decision — is independent of thread interleaving.
+  void dispatch_window(SimTime wend) {
+    if (threads_.empty()) {  // single-thread: inline, same phase order
+      for (int s = 0; s < nshards_; ++s) drain_shard(s);
+      for (int s = 0; s < nshards_; ++s)
+        shards_[static_cast<std::size_t>(s)]->run_until(wend);
+      return;
+    }
+    dispatch_phase(Phase::kDrain, wend);
+    dispatch_phase(Phase::kRun, wend);
   }
 
   void worker_main(int j) {
     std::uint64_t seen = 0;
     for (;;) {
+      Phase p;
       SimTime wend;
       {
         std::unique_lock<std::mutex> lk(mu_);
         cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
         if (stop_) return;
         seen = gen_;
+        p = job_phase_;
         wend = job_wend_;
       }
-      for (int s = block_lo(j); s < block_hi(j); ++s) run_shard_window(s, wend);
+      exec_block(j, p, wend);
       {
         std::lock_guard<std::mutex> lk(mu_);
         if (--remaining_ == 0) cv_done_.notify_one();
@@ -336,6 +369,7 @@ class ShardedScheduler {
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable cv_work_, cv_done_;
+  Phase job_phase_ = Phase::kDrain;
   SimTime job_wend_{};
   std::uint64_t gen_ = 0;
   int remaining_ = 0;
