@@ -26,6 +26,14 @@ constexpr const char* kClsBye = "Bye";
 constexpr const char* kClsLsu = "LSU";
 constexpr const char* kClsDirUpd = "DirUpd";
 constexpr const char* kClsDirSync = "DirSync";
+constexpr const char* kClsDirEntry = "DirEntry";  // replicated rib object
+constexpr const char* kClsDirRead = "DirRead";          // query up the chain
+constexpr const char* kClsDirReadReply = "DirReadReply";
+constexpr const char* kClsDirInval = "DirInval";        // cache invalidation
+constexpr const char* kClsRibFinger = "RibFinger";      // anti-entropy opener
+constexpr const char* kClsRibDigest = "RibDigest";      // anti-entropy fallback
+constexpr const char* kClsRibDelta = "RibDelta";        // versioned deltas
+constexpr const char* kClsRibPull = "RibPull";          // gap / name pull
 constexpr const char* kClsFlowReq = "FlowReq";
 constexpr const char* kClsFlowResp = "FlowResp";
 constexpr const char* kClsFlowRelease = "FlowRelease";
@@ -50,6 +58,13 @@ constexpr int kMaxReleaseAttempts = 4;
 // queue (no ack clock exists to wake them).
 constexpr SimTime kRmtPollGap = SimTime::from_us(400);
 constexpr int kMaxJoinAttempts = 3;
+// Hierarchical directory queries: retry against routing convergence,
+// then report the miss (the flow allocator keeps polling on its own).
+constexpr SimTime kDirQueryRetry = SimTime::from_ms(50);
+constexpr int kMaxDirQueryAttempts = 4;
+constexpr std::size_t kMaxDirInterest = 128;
+// Snapshot fallback size for delta-sync pulls that fell off the log.
+constexpr std::size_t kSyncSnapshotEntries = 4096;
 constexpr std::uint64_t kHelloNonce = 0x48454c4c4f754c4cULL;
 // Keep management snapshots comfortably inside the PCI's u16 payload
 // length (there is no fragmentation); overflow is truncated + counted.
@@ -135,6 +150,9 @@ Ipcp::Ipcp(IpcpHost& host, const dif::DifConfig& cfg, std::uint32_t dif_id)
   c_keepalives_sent_ = stats_.slot("keepalives_sent");
   c_lsus_flooded_ = stats_.slot("lsus_flooded");
   c_riep_sent_ = stats_.slot("riep_sent");
+  c_mgmt_bytes_ = stats_.slot("mgmt_bytes_sent");
+  dir_cache_.configure(cfg_.dir_cache_ttl, cfg_.dir_cache_entries);
+  sync_.set_log_capacity(cfg_.rib_log_entries);
   if (cfg_.cubes.empty()) cfg_.cubes = dif::default_cubes();
   if (cfg_.rmt_content_store_enabled && cfg_.rmt_content_store_objects > 0)
     cstore_ = std::make_unique<content::ContentStore>(
@@ -155,6 +173,7 @@ void Ipcp::bootstrap_member(naming::Address addr) {
   enrolled_ = true;
   rib_.upsert("/dif/name", "DifName", to_bytes(cfg_.name.str()));
   rib_.upsert("/dif/address", "Address", to_bytes(addr.to_string()));
+  if (cfg_.rib_delta_sync) start_sync_timer();
   if (cfg_.keepalive_enabled && !keepalive_timer_.armed()) {
     keepalive_tick();
     keepalive_timer_ =
@@ -290,6 +309,16 @@ void Ipcp::deliver_local(efcp::Pdu&& pdu) {
       fa_.on_flow_release(pdu.pci, msg);
     } else if (msg.obj_class == kClsFlowReleaseAck) {
       fa_.on_flow_release_ack(pdu.pci, msg);
+    } else if (msg.obj_class == kClsDirUpd) {
+      // A targeted registration update (hierarchical mode): apply to the
+      // local directory, never re-flood.
+      (void)apply_dir_update(msg);
+    } else if (msg.obj_class == kClsDirRead) {
+      handle_dir_read(pdu.pci, msg);
+    } else if (msg.obj_class == kClsDirReadReply) {
+      handle_dir_read_reply(msg);
+    } else if (msg.obj_class == kClsDirInval) {
+      handle_dir_inval(msg);
     }
     return;
   }
@@ -368,6 +397,7 @@ void Ipcp::send_mgmt(relay::PortIndex idx, const rib::RiepMessage& m) {
                     ? Packet::with_headroom(kDefaultHeadroom,
                                             BytesView{keepalive_wire()})
                     : mgmt_payload(m);
+  *c_mgmt_bytes_ += pdu.payload.view().size();
   rmt_.egress(idx, std::move(pdu));
 }
 
@@ -378,6 +408,7 @@ void Ipcp::send_routed_mgmt(naming::Address dest, const rib::RiepMessage& m) {
   pdu.pci.src = address_;
   pdu.pci.dest = dest;
   pdu.payload = mgmt_payload(m);
+  *c_mgmt_bytes_ += pdu.payload.view().size();
   rmt_.send(std::move(pdu));
 }
 
@@ -427,6 +458,14 @@ void Ipcp::handle_mgmt(relay::PortIndex idx, const efcp::Pdu& pdu) {
     handle_dir_update(idx, m);
   } else if (cls == kClsDirSync) {
     handle_dir_sync(m);
+  } else if (cls == kClsRibDelta) {
+    handle_rib_delta(idx, m);
+  } else if (cls == kClsRibFinger) {
+    handle_rib_finger(idx, m);
+  } else if (cls == kClsRibDigest) {
+    handle_rib_digest(idx, m);
+  } else if (cls == kClsRibPull) {
+    handle_rib_pull(idx, m);
   }
 }
 
@@ -449,8 +488,13 @@ void Ipcp::handle_hello(relay::PortIndex idx, const rib::RiepMessage& m) {
   if (!p.hello_sent) send_hello(idx);
   if (changed) {
     // A fresh adjacency: hand the peer what the flood could not have
-    // reached it with.
-    send_dir_sync(idx);
+    // reached it with. Under delta sync that is a digest (the peer pulls
+    // just what differs); under hierarchical naming there is no
+    // replicated directory to reconcile at all.
+    if (cfg_.rib_delta_sync)
+      send_port_digest(idx);
+    else if (!cfg_.dir_hierarchical)
+      send_dir_sync(idx);
     adjacency_changed();
   }
 }
@@ -465,7 +509,11 @@ void Ipcp::handle_keepalive(relay::PortIndex idx) {
 
 void Ipcp::handle_bye(relay::PortIndex idx) {
   Port& p = ports_[idx];
-  if (!p.peer.is_null()) dir_.remove_at(p.peer);
+  if (!p.peer.is_null()) {
+    dir_.remove_at(p.peer);
+    std::size_t n = dir_cache_.invalidate_at(p.peer);
+    if (n != 0) stats_.inc("dir_cache_invalidations", n);
+  }
   p.peer_enrolled = false;
   adjacency_changed();
 }
@@ -524,8 +572,15 @@ void Ipcp::originate_lsu() {
   w.put_u16(static_cast<std::uint16_t>(neighbors.size()));
   for (auto n : neighbors) put_addr(w, n);
   m.value = std::move(w).take();
-  rib_.upsert(m.obj_name, m.obj_class, m.value);
-  flood(m, std::nullopt);
+  if (cfg_.rib_delta_sync) {
+    // The LSU's own sequence number doubles as the replicated object's
+    // version; dissemination is a logged delta, not a full-value flood.
+    (void)rib_.upsert_versioned(m.obj_name, m.obj_class, m.value, lsu_seq_);
+    disseminate_delta(m.obj_name, m.obj_class, std::move(m.value), lsu_seq_);
+  } else {
+    rib_.upsert(m.obj_name, m.obj_class, m.value);
+    flood(m, std::nullopt);
+  }
   schedule_spf();
 }
 
@@ -542,17 +597,37 @@ void Ipcp::handle_lsu(relay::PortIndex idx, const rib::RiepMessage& m) {
   BufReader r(BytesView{m.value});
   naming::Address origin = get_addr(r);
   std::uint64_t seq = r.get_u64();
+  if (!r.ok() || origin.is_null()) return;
+  if (origin == address_) return;
+  // Duplicate guard *before* the (larger) neighbor-list decode: a
+  // byte-identical re-flood is recognized from (origin, seq) alone and
+  // never re-floods, never touches the RIB, never schedules SPF.
+  {
+    auto lit = lsdb_.find(origin);
+    if (lit != lsdb_.end() && seq <= lit->second.seq &&
+        !(lit->second.seq == 0 && seq == 0)) {
+      stats_.inc("lsus_dup_suppressed");
+      return;  // stale or duplicate
+    }
+  }
   std::uint16_t n = r.get_u16();
   std::vector<naming::Address> neighbors;
   neighbors.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) neighbors.push_back(get_addr(r));
-  if (!r.ok() || origin.is_null()) return;
-  if (origin == address_) return;
+  if (!r.ok()) return;
   auto& rec = lsdb_[origin];
-  if (seq <= rec.seq && !(rec.seq == 0 && seq == 0)) return;  // stale
+  if (use_incremental_spf())
+    note_lsu_edge_changes(origin, rec.neighbors, neighbors);
   rec.seq = seq;
   rec.neighbors = std::move(neighbors);
-  rib_.upsert("/routing/lsu/" + origin.to_string(), kClsLsu, m.value);
+  const std::string name = "/routing/lsu/" + origin.to_string();
+  if (cfg_.rib_delta_sync) {
+    // Delta mode: the LSU's own sequence number is the replicated
+    // object's version, so every member agrees on digests.
+    (void)rib_.upsert_versioned(name, kClsLsu, m.value, seq);
+  } else {
+    rib_.upsert(name, kClsLsu, m.value);
+  }
   flood(m, idx);
   schedule_spf();
 }
@@ -564,6 +639,10 @@ void Ipcp::schedule_spf() {
 
 void Ipcp::run_spf() {
   if (!enrolled_ || address_.is_null()) return;
+  if (use_incremental_spf()) {
+    run_spf_incremental();
+    return;
+  }
   stats_.inc("spf_runs");
 
   routing::Graph g;
@@ -574,6 +653,9 @@ void Ipcp::run_spf() {
     for (auto n : rec.neighbors) g.add_edge(origin, n, 1);
   }
   auto spf = g.dijkstra(address_);
+  // A full run re-derives every destination — the comparable work unit
+  // incremental repair reports per touched vertex.
+  stats_.inc("spf_vertices_recomputed", spf.entries.size());
 
   rmt_.fib_.clear_routes();
   if (!cfg_.aggregate_regions) {
@@ -778,14 +860,18 @@ void Ipcp::admit_joiner(relay::PortIndex idx, const std::string& joiner_name) {
   // truncate and count it — floods and dir-sync top the joiner up later.
   BufWriter dir_w(256);
   std::uint16_t ndir = 0;
-  for (const auto& [app, at] : dir_.entries()) {
-    if (dir_w.size() > kSnapshotBudget / 2) {
-      stats_.inc("snapshot_truncated");
-      break;
+  // A hierarchical DIF has no replicated directory to hand over — the
+  // joiner resolves through its anchor like everyone else.
+  if (!cfg_.dir_hierarchical) {
+    for (const auto& [app, at] : dir_.entries()) {
+      if (dir_w.size() > kSnapshotBudget / 2) {
+        stats_.inc("snapshot_truncated");
+        break;
+      }
+      put_app(dir_w, app);
+      put_addr(dir_w, at);
+      ++ndir;
     }
-    put_app(dir_w, app);
-    put_addr(dir_w, at);
-    ++ndir;
   }
   // LSDB snapshot: the joiner must see the DIF's topology, not just us —
   // link-state floods only carry *changes*.
@@ -838,6 +924,17 @@ void Ipcp::complete_enrollment(relay::PortIndex idx, const rib::RiepMessage& m) 
     if (seq > rec.seq) {
       rec.seq = seq;
       rec.neighbors = std::move(neighbors);
+      if (cfg_.rib_delta_sync) {
+        // Seed the replica too, or the first anti-entropy round would
+        // re-pull everything the snapshot already carried.
+        BufWriter lw(16 + 4 * rec.neighbors.size());
+        put_addr(lw, origin);
+        lw.put_u64(seq);
+        lw.put_u16(static_cast<std::uint16_t>(rec.neighbors.size()));
+        for (auto nb : rec.neighbors) put_addr(lw, nb);
+        (void)rib_.upsert_versioned("/routing/lsu/" + origin.to_string(),
+                                    kClsLsu, std::move(lw).take(), seq);
+      }
     }
   }
   if (!r.ok()) return;
@@ -864,6 +961,19 @@ void Ipcp::leave(bool teardown_flows) {
   enrolled_ = false;
   departed_ = true;
   keepalive_timer_.cancel();
+  sync_timer_.cancel();
+  for (auto& [app, pr] : pending_resolve_) {
+    (void)app;
+    pr.timer.cancel();
+  }
+  pending_resolve_.clear();
+  dir_cache_.clear();
+  dir_interest_.clear();
+  spf_seeded_ = false;
+  pending_edge_changes_.clear();
+  graph_.clear();
+  graph_my_neighbors_.clear();
+  spf_prev_ = routing::SpfResult{};
   stats_.inc("departures");
 }
 
@@ -884,12 +994,24 @@ void Ipcp::flood_dir_entry(const naming::AppName& app, std::uint8_t op) {
   flood(m, std::nullopt);
 }
 
+void Ipcp::announce_app(const naming::AppName& app) {
+  if (cfg_.dir_hierarchical) {
+    // Registration state lives only on the resolver chain (region
+    // anchor + root); nobody floods, everyone else resolves on demand.
+    send_targeted_dir_update(app, 1);
+  } else if (cfg_.rib_delta_sync) {
+    disseminate_dir_delta(app, 1);
+  } else {
+    rib_.upsert("/dif/directory/" + app.to_string(), kClsDirEntry,
+                to_bytes(address_.to_string()));
+    flood_dir_entry(app, 1);
+  }
+}
+
 void Ipcp::publish_app(const naming::AppName& app) {
   if (!enrolled_ || address_.is_null()) return;
   dir_.add(app, address_);
-  rib_.upsert("/dif/directory/" + app.to_string(), "DirEntry",
-              to_bytes(address_.to_string()));
-  flood_dir_entry(app, 1);
+  announce_app(app);
   // Registration can race adjacency bring-up (the flood reaches only
   // usable ports); re-announce with fresh sequence numbers until the DIF
   // has had time to converge.
@@ -902,14 +1024,25 @@ void Ipcp::publish_app(const naming::AppName& app) {
         sched().schedule_after(SimTime::from_ms(ms), [this, app] {
           if (enrolled_ &&
               dir_.lookup(app) == std::optional<naming::Address>{address_})
-            flood_dir_entry(app, 1);
+            announce_app(app);
         }));
   }
 }
 
 void Ipcp::unpublish_app(const naming::AppName& app) {
+  std::optional<naming::Address> was = dir_.lookup(app);
   dir_.remove(app);
-  flood_dir_entry(app, 2);
+  if (cfg_.dir_hierarchical) {
+    send_targeted_dir_update(app, 2);
+    // Mobility/unregister: every cached copy of the old binding must
+    // die. The authorities cascade the invalidation down their interest
+    // lists when the remove reaches them; here only local state is left.
+    if (was) cascade_dir_inval(app, *was);
+  } else if (cfg_.rib_delta_sync) {
+    disseminate_dir_delta(app, 2);
+  } else {
+    flood_dir_entry(app, 2);
+  }
 }
 
 void Ipcp::send_dir_sync(relay::PortIndex idx) {
@@ -946,25 +1079,607 @@ void Ipcp::handle_dir_sync(const rib::RiepMessage& m) {
   }
 }
 
-void Ipcp::handle_dir_update(relay::PortIndex idx, const rib::RiepMessage& m) {
+bool Ipcp::apply_dir_update(const rib::RiepMessage& m) {
   BufReader r(BytesView{m.value});
   naming::Address origin = get_addr(r);
   std::uint64_t seq = r.get_u64();
   std::uint8_t op = r.get_u8();
   naming::AppName app = get_app(r);
   naming::Address at = get_addr(r);
-  if (!r.ok() || origin.is_null()) return;
-  if (origin == address_) return;
+  if (!r.ok() || origin.is_null()) return false;
+  if (origin == address_) return false;
   std::uint64_t key = (static_cast<std::uint64_t>(origin.key()) << 24) ^ seq;
-  if (!dir_flood_seen_.insert(key).second) return;
+  if (!dir_flood_seen_.insert(key).second) {
+    stats_.inc("dir_dups_suppressed");
+    return false;
+  }
+  std::optional<naming::Address> old = dir_.lookup(app);
   if (op == 1) {
     dir_.add(app, at);
-    rib_.upsert("/dif/directory/" + app.to_string(), "DirEntry",
-                to_bytes(at.to_string()));
+    if (!cfg_.dir_hierarchical)
+      rib_.upsert("/dif/directory/" + app.to_string(), kClsDirEntry,
+                  to_bytes(at.to_string()));
   } else {
     dir_.remove(app);
   }
-  flood(m, idx);
+  // An authority losing (or rebinding) an entry kills every cached copy
+  // of the old binding via its interest list — mobility costs O(who
+  // actually resolved the name), not O(members).
+  if (cfg_.dir_hierarchical && old && (op != 1 || *old != at))
+    cascade_dir_inval(app, *old);
+  return true;
+}
+
+void Ipcp::handle_dir_update(relay::PortIndex idx, const rib::RiepMessage& m) {
+  if (apply_dir_update(m) && !cfg_.dir_hierarchical) flood(m, idx);
+}
+
+// ---------------- hierarchical directory resolution ----------------
+//
+// Registrations go only to the resolver chain (region anchor + DIF
+// root); everyone else resolves a miss by asking up, caching the answer
+// with a TTL. Control cost per registration is O(chain length), not
+// O(members) — the tentpole's naming layer.
+
+naming::Address Ipcp::resolver_parent() const {
+  naming::Address anchor = dir_anchor();
+  if (address_ != anchor) return anchor;
+  if (!cfg_.dir_root.is_null() && address_ != cfg_.dir_root)
+    return cfg_.dir_root;
+  return naming::Address{};  // I am the top of the chain
+}
+
+std::optional<naming::Address> Ipcp::dir_cache_lookup(const naming::AppName& app) {
+  auto at = dir_cache_.lookup(app, sched().now());
+  if (at)
+    stats_.inc("dir_cache_hits");
+  else
+    stats_.inc("dir_cache_misses");
+  return at;
+}
+
+void Ipcp::resolve_name(const naming::AppName& app, ResolveCb cb) {
+  if (auto at = dir_.lookup(app)) {
+    if (cb) cb(at);
+    return;
+  }
+  if (!cfg_.dir_hierarchical || !enrolled_) {
+    if (cb) cb(std::nullopt);
+    return;
+  }
+  if (auto at = dir_cache_lookup(app)) {
+    if (cb) cb(at);
+    return;
+  }
+  if (resolver_parent().is_null()) {
+    // Authoritative miss: nobody above me to ask.
+    if (cb) cb(std::nullopt);
+    return;
+  }
+  start_dir_query(app, std::move(cb));
+}
+
+std::optional<naming::Address> Ipcp::dir_lookup_for_alloc(
+    const naming::AppName& app) {
+  if (auto at = dir_.lookup(app)) return at;
+  if (!cfg_.dir_hierarchical || !enrolled_) return std::nullopt;
+  // The allocator polls; while a query is in flight, just miss quietly
+  // (one counted cache miss per query cycle, not per poll).
+  if (pending_resolve_.count(app) != 0) return std::nullopt;
+  if (auto at = dir_cache_lookup(app)) return at;
+  if (resolver_parent().is_null()) return std::nullopt;
+  start_dir_query(app, ResolveCb{});  // cache-warming query
+  return std::nullopt;
+}
+
+void Ipcp::start_dir_query(const naming::AppName& app, ResolveCb cb) {
+  auto it = pending_resolve_.find(app);
+  if (it != pending_resolve_.end()) {
+    it->second.cbs.push_back(std::move(cb));
+    return;  // one query in flight per name
+  }
+  PendingResolve& pr = pending_resolve_[app];
+  pr.cbs.push_back(std::move(cb));
+  pr.attempts = 0;
+  send_dir_query(app);
+}
+
+void Ipcp::send_dir_query(const naming::AppName& app) {
+  auto it = pending_resolve_.find(app);
+  if (it == pending_resolve_.end()) return;
+  PendingResolve& pr = it->second;
+  if (pr.attempts >= kMaxDirQueryAttempts) {
+    finish_dir_query(app, std::nullopt);
+    return;
+  }
+  ++pr.attempts;
+  stats_.inc("dir_queries_sent");
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::read;
+  m.obj_name = "/dif/directory/" + app.to_string();
+  m.obj_class = kClsDirRead;
+  BufWriter w(8 + app.to_string().size());
+  put_addr(w, address_);
+  put_app(w, app);
+  m.value = std::move(w).take();
+  send_routed_mgmt(resolver_parent(), m);
+  pr.timer =
+      sched().schedule_after(kDirQueryRetry, [this, app] { send_dir_query(app); });
+}
+
+void Ipcp::finish_dir_query(const naming::AppName& app,
+                            std::optional<naming::Address> result) {
+  auto it = pending_resolve_.find(app);
+  if (it == pending_resolve_.end()) return;
+  it->second.timer.cancel();
+  std::vector<ResolveCb> cbs = std::move(it->second.cbs);
+  pending_resolve_.erase(it);
+  for (auto& cb : cbs)
+    if (cb) cb(result);
+}
+
+void Ipcp::send_targeted_dir_update(const naming::AppName& app, std::uint8_t op) {
+  rib::RiepMessage m;
+  m.op = op == 1 ? rib::RiepOp::create : rib::RiepOp::remove;
+  m.obj_name = "/dif/directory/" + app.to_string();
+  m.obj_class = kClsDirUpd;
+  BufWriter w(16 + app.to_string().size());
+  put_addr(w, address_);
+  w.put_u64(++dir_seq_);
+  w.put_u8(op);
+  put_app(w, app);
+  put_addr(w, address_);
+  m.value = std::move(w).take();
+  stats_.inc("dir_targeted_updates");
+  naming::Address anchor = dir_anchor();
+  if (anchor != address_ && !anchor.is_null()) send_routed_mgmt(anchor, m);
+  if (!cfg_.dir_root.is_null() && cfg_.dir_root != address_ &&
+      cfg_.dir_root != anchor)
+    send_routed_mgmt(cfg_.dir_root, m);
+}
+
+void Ipcp::send_dir_inval(naming::Address to, const naming::AppName& app,
+                          naming::Address at) {
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::remove;
+  m.obj_name = "/dif/directory/" + app.to_string();
+  m.obj_class = kClsDirInval;
+  BufWriter w(16 + app.to_string().size());
+  put_addr(w, address_);
+  w.put_u64(++dir_seq_);
+  put_app(w, app);
+  put_addr(w, at);
+  m.value = std::move(w).take();
+  stats_.inc("dir_invals_originated");
+  send_routed_mgmt(to, m);
+}
+
+void Ipcp::cascade_dir_inval(const naming::AppName& app, naming::Address at) {
+  if (dir_cache_.invalidate_if_at(app, at))
+    stats_.inc("dir_cache_invalidations");
+  auto it = dir_interest_.find(app);
+  if (it == dir_interest_.end()) return;
+  // Interest older than the cache TTL cannot correspond to a live
+  // cached entry any more — let it age out silently.
+  SimTime now = sched().now();
+  for (const auto& [who, when] : it->second)
+    if (now - when < cfg_.dir_cache_ttl && who != address_)
+      send_dir_inval(who, app, at);
+  dir_interest_.erase(it);
+}
+
+void Ipcp::handle_dir_inval(const rib::RiepMessage& m) {
+  BufReader r(BytesView{m.value});
+  naming::Address origin = get_addr(r);
+  std::uint64_t seq = r.get_u64();
+  naming::AppName app = get_app(r);
+  naming::Address at = get_addr(r);
+  if (!r.ok() || origin.is_null()) return;
+  if (origin == address_) return;
+  // Invalidations share the origin's DirUpd sequence space, so one seen
+  // set covers both kinds.
+  std::uint64_t key = (static_cast<std::uint64_t>(origin.key()) << 24) ^ seq;
+  if (!dir_flood_seen_.insert(key).second) {
+    stats_.inc("dir_dups_suppressed");
+    return;
+  }
+  // Drop a stale authoritative binding too — unless a newer
+  // registration already replaced it.
+  if (dir_.lookup(app) == std::optional<naming::Address>{at}) dir_.remove(app);
+  // Kill the local cached copy and pass the invalidation further down
+  // the query tree (whoever resolved through this node).
+  cascade_dir_inval(app, at);
+}
+
+void Ipcp::handle_dir_read(const efcp::Pci& pci, const rib::RiepMessage& m) {
+  (void)pci;
+  BufReader r(BytesView{m.value});
+  naming::Address requester = get_addr(r);
+  naming::AppName app = get_app(r);
+  if (!r.ok() || requester.is_null() || requester == address_) return;
+  stats_.inc("dir_queries_served");
+  // Remember who asked: a later mobility event invalidates exactly these
+  // caches instead of flooding. Bounded per name; oldest interest falls
+  // off first (its cache entry expires by TTL anyway).
+  auto& interest = dir_interest_[app];
+  interest[requester] = sched().now();
+  if (interest.size() > kMaxDirInterest) {
+    auto oldest = interest.begin();
+    for (auto iit = interest.begin(); iit != interest.end(); ++iit)
+      if (iit->second < oldest->second) oldest = iit;
+    interest.erase(oldest);
+  }
+  // Resolve locally or escalate up my own chain; either way the reply
+  // goes back to the immediate requester, which caches it — so an
+  // answer warms every hop on its way down.
+  resolve_name(app, [this, requester, app](std::optional<naming::Address> at) {
+    rib::RiepMessage rep;
+    rep.op = rib::RiepOp::reply;
+    rep.obj_name = "/dif/directory/" + app.to_string();
+    rep.obj_class = kClsDirReadReply;
+    BufWriter w(16 + app.to_string().size());
+    put_app(w, app);
+    w.put_u8(at ? 1 : 0);
+    put_addr(w, at ? *at : naming::Address{});
+    rep.value = std::move(w).take();
+    send_routed_mgmt(requester, rep);
+  });
+}
+
+void Ipcp::handle_dir_read_reply(const rib::RiepMessage& m) {
+  BufReader r(BytesView{m.value});
+  naming::AppName app = get_app(r);
+  std::uint8_t found = r.get_u8();
+  naming::Address at = get_addr(r);
+  if (!r.ok()) return;
+  std::optional<naming::Address> res;
+  if (found != 0 && !at.is_null()) {
+    res = at;
+    dir_cache_.insert(app, at, sched().now());
+  }
+  finish_dir_query(app, res);
+}
+
+// ----------------------- versioned delta sync -----------------------
+//
+// cfg.rib_delta_sync: replicated mutations travel as sequence-numbered
+// per-origin deltas (gap pulls on a hole, scoped snapshot when the hole
+// fell off the bounded log), and periodic anti-entropy digest rounds
+// sweep the namespace in sorted windows — the tentpole's RIB layer.
+
+void Ipcp::send_sync_msg(relay::PortIndex idx, const char* cls, Bytes value) {
+  rib::RiepMessage m;
+  m.op = rib::RiepOp::sync;
+  m.obj_name = "/rib/sync";
+  m.obj_class = cls;
+  m.value = std::move(value);
+  send_mgmt(idx, m);
+}
+
+void Ipcp::disseminate_delta(const std::string& name, const std::string& cls,
+                             Bytes value, std::uint64_t version) {
+  rib::DeltaEntry e;
+  e.seq = ++sync_seq_;
+  e.name = name;
+  e.obj_class = cls;
+  e.version = version;
+  e.value = std::move(value);
+  rib::Delta d;
+  d.origin = address_;
+  d.entries.push_back(e);  // copy: the log keeps its own
+  sync_.log(address_).record(std::move(e));
+  Bytes wire = d.encode();
+  stats_.inc("deltas_originated");
+  for (std::size_t i = 0; i < ports_.size(); ++i)
+    if (usable(ports_[i]))
+      send_sync_msg(static_cast<relay::PortIndex>(i), kClsRibDelta, wire);
+}
+
+void Ipcp::disseminate_dir_delta(const naming::AppName& app, std::uint8_t op) {
+  const std::string name = "/dif/directory/" + app.to_string();
+  BufWriter w(8 + app.to_string().size());
+  w.put_u8(op);  // 1 = bind to me, 2 = tombstone
+  put_app(w, app);
+  put_addr(w, address_);
+  Bytes value = std::move(w).take();
+  // Lamport-ish: bump past whatever version this replica has seen, so a
+  // re-registration after mobility beats the old origin's entries.
+  std::uint64_t ver = rib_.version_of(name) + 1;
+  (void)rib_.upsert_versioned(name, kClsDirEntry, value, ver);
+  disseminate_delta(name, kClsDirEntry, std::move(value), ver);
+}
+
+bool Ipcp::apply_replicated(const rib::DeltaEntry& e) {
+  if (!rib::replicated_scope(e.name)) return false;
+  if (!rib_.upsert_versioned(e.name, e.obj_class, e.value, e.version))
+    return false;  // replica already at this version or newer
+  if (e.obj_class == kClsLsu) {
+    BufReader r(BytesView{e.value});
+    naming::Address origin = get_addr(r);
+    std::uint64_t seq = r.get_u64();
+    std::uint16_t n = r.get_u16();
+    std::vector<naming::Address> neighbors;
+    neighbors.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) neighbors.push_back(get_addr(r));
+    if (r.ok() && !origin.is_null() && origin != address_) {
+      auto& rec = lsdb_[origin];
+      if (seq > rec.seq) {
+        if (use_incremental_spf())
+          note_lsu_edge_changes(origin, rec.neighbors, neighbors);
+        rec.seq = seq;
+        rec.neighbors = std::move(neighbors);
+        schedule_spf();
+      }
+    }
+  } else if (e.obj_class == kClsDirEntry) {
+    BufReader r(BytesView{e.value});
+    std::uint8_t op = r.get_u8();
+    naming::AppName app = get_app(r);
+    naming::Address at = get_addr(r);
+    if (r.ok()) {
+      if (op == 1 && !at.is_null())
+        dir_.add(app, at);
+      else if (op == 2)
+        dir_.remove(app);  // version gate already ordered us after any add
+    }
+  }
+  return true;
+}
+
+void Ipcp::handle_rib_delta(relay::PortIndex idx, const rib::RiepMessage& m) {
+  auto decoded = rib::Delta::decode(BytesView{m.value});
+  if (!decoded.ok()) return;
+  rib::Delta& d = decoded.value();
+  stats_.inc("deltas_received");
+  const bool own = d.origin == address_;
+  rib::OriginLog* log = d.origin.is_null() || own ? nullptr : &sync_.log(d.origin);
+  std::uint64_t gap_from = 0, gap_to = 0;
+  rib::Delta fwd;  // fresh logged entries re-flood to the other ports
+  fwd.origin = d.origin;
+  for (rib::DeltaEntry& e : d.entries) {
+    if (e.seq == 0 || log == nullptr) {
+      // Repair entry (snapshot / digest push / pull answer): apply
+      // version-guarded, never log, never re-flood.
+      (void)apply_replicated(e);
+      continue;
+    }
+    if (log->has(e.seq)) {
+      stats_.inc("deltas_dup_suppressed");
+      continue;
+    }
+    // Note the hole *before* recording raises high(): pull exactly the
+    // missed range from whoever showed it to us.
+    if (log->high() != 0 && e.seq > log->high() + 1 && gap_from == 0) {
+      gap_from = log->high() + 1;
+      gap_to = e.seq - 1;
+    }
+    (void)apply_replicated(e);
+    fwd.entries.push_back(e);
+    log->record(std::move(e));
+  }
+  if (!fwd.entries.empty()) {
+    Bytes wire = fwd.encode();
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      auto pi = static_cast<relay::PortIndex>(i);
+      if (pi != idx && usable(ports_[i]))
+        send_sync_msg(pi, kClsRibDelta, wire);
+    }
+  }
+  if (gap_from != 0) {
+    stats_.inc("delta_gap_pulls");
+    rib::PullRequest pr;
+    pr.kind = rib::PullRequest::Kind::seq_range;
+    pr.origin = d.origin;
+    pr.from = gap_from;
+    pr.to = gap_to;
+    send_sync_msg(idx, kClsRibPull, pr.encode());
+  }
+}
+
+void Ipcp::push_objects(relay::PortIndex idx, const std::vector<std::string>& names) {
+  rib::Delta d;  // repair delta: origin null, every entry seq 0
+  for (const std::string& n : names) {
+    if (!rib::replicated_scope(n)) continue;
+    const rib::Rib::Object* o = rib_.find(n);
+    if (o == nullptr) continue;
+    d.entries.push_back(rib::DeltaEntry{0, n, o->obj_class, o->version, o->value});
+  }
+  if (d.entries.empty()) return;
+  stats_.inc("objects_pushed", d.entries.size());
+  send_sync_msg(idx, kClsRibDelta, d.encode());
+}
+
+void Ipcp::send_port_digest(relay::PortIndex idx) {
+  if (!enrolled_) return;
+  rib::Digest dg = rib::build_digest(rib_, "", cfg_.rib_digest_budget);
+  send_sync_msg(idx, kClsRibDigest, dg.encode());
+}
+
+void Ipcp::handle_rib_finger(relay::PortIndex idx, const rib::RiepMessage& m) {
+  auto decoded = rib::Fingerprint::decode(BytesView{m.value});
+  if (!decoded.ok()) return;
+  // Rebuild the peer's window from our own rib: a converged pair hashes
+  // equal and the round ends here for O(1) bytes. On mismatch, answer
+  // with our window — the peer diffs it and pushes/pulls the repair.
+  rib::Digest mine =
+      rib::build_digest(rib_, decoded.value().after, cfg_.rib_digest_budget);
+  if (rib::digest_fingerprint(mine) == decoded.value().hash) {
+    stats_.inc("digest_finger_hits");
+    return;
+  }
+  stats_.inc("digest_finger_misses");
+  send_sync_msg(idx, kClsRibDigest, mine.encode());
+}
+
+void Ipcp::handle_rib_digest(relay::PortIndex idx, const rib::RiepMessage& m) {
+  auto decoded = rib::Digest::decode(BytesView{m.value});
+  if (!decoded.ok()) return;
+  rib::DigestDiff diff = rib::diff_digest(rib_, decoded.value());
+  if (!diff.push.empty()) push_objects(idx, diff.push);
+  if (!diff.want.empty()) {
+    rib::PullRequest pr;
+    pr.kind = rib::PullRequest::Kind::names;
+    pr.names = std::move(diff.want);
+    stats_.inc("digest_pulls");
+    send_sync_msg(idx, kClsRibPull, pr.encode());
+  }
+}
+
+void Ipcp::handle_rib_pull(relay::PortIndex idx, const rib::RiepMessage& m) {
+  auto decoded = rib::PullRequest::decode(BytesView{m.value});
+  if (!decoded.ok()) return;
+  rib::PullRequest& pr = decoded.value();
+  if (pr.kind == rib::PullRequest::Kind::names) {
+    push_objects(idx, pr.names);
+    return;
+  }
+  // My own dissemination log lives in sync_ too, so one lookup covers
+  // pulls for my deltas and relayed ones alike.
+  const rib::OriginLog* log = sync_.find_log(pr.origin);
+  if (log != nullptr && log->can_serve(pr.from, pr.to)) {
+    rib::Delta d;
+    d.origin = pr.origin;
+    d.entries = log->collect(pr.from, pr.to);
+    // Served from the log these keep their seqs, but as a direct answer
+    // (not a flood) the peer logs them without re-flooding loops: the
+    // normal delta path handles that.
+    send_sync_msg(idx, kClsRibDelta, d.encode());
+  } else {
+    // The range fell off the bounded log: full scoped snapshot fallback.
+    stats_.inc("snapshot_fallbacks");
+    rib::Delta snap = rib::build_snapshot(rib_, kSyncSnapshotEntries);
+    send_sync_msg(idx, kClsRibDelta, snap.encode());
+  }
+}
+
+void Ipcp::anti_entropy_round() {
+  if (!enrolled_ || departed_) return;  // stops the reschedule chain
+  auto nbrs = live_neighbors();
+  if (!nbrs.empty()) {
+    // One neighbor per round (deterministic round-robin), one sorted
+    // window of the namespace per round: steady-state cost is a few
+    // dozen (name, version) pairs, independent of DIF size.
+    auto it = nbrs.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(sync_rr_++ % nbrs.size()));
+    relay::PortIndex idx = it->second.front();
+    rib::Digest dg = rib::build_digest(rib_, sync_.cursor, cfg_.rib_digest_budget);
+    sync_.cursor = rib::next_cursor(dg);
+    stats_.inc("digest_rounds");
+    rib::Fingerprint fp;
+    fp.after = dg.after;
+    fp.hash = rib::digest_fingerprint(dg);
+    send_sync_msg(idx, kClsRibFinger, fp.encode());
+  }
+  sync_timer_ = sched().schedule_after(cfg_.rib_sync_interval,
+                                       [this] { anti_entropy_round(); });
+}
+
+void Ipcp::start_sync_timer() {
+  if (sync_timer_.armed()) return;
+  // Deterministic per-member phase stagger so a whole region's members
+  // don't digest in the same tick.
+  std::int64_t step = cfg_.rib_sync_interval.ns;
+  std::int64_t phase =
+      static_cast<std::int64_t>(splitmix64(address_.key()) % 16) * (step / 16);
+  sync_timer_ = sched().schedule_after(SimTime{step + phase},
+                                       [this] { anti_entropy_round(); });
+}
+
+// ------------------------- incremental SPF -------------------------
+//
+// cfg.incremental_spf: keep the topology graph and previous SP tree
+// live; an LSU turns into edge deltas (note_lsu_edge_changes) and the
+// debounced run repairs only the affected subtrees — or skips outright
+// when no changed edge touches a shortest path. The tentpole's routing
+// layer.
+
+void Ipcp::note_lsu_edge_changes(naming::Address origin,
+                                 const std::vector<naming::Address>& old_n,
+                                 const std::vector<naming::Address>& new_n) {
+  if (!spf_seeded_) return;  // first run builds the graph wholesale
+  for (auto n : new_n) {
+    if (std::find(old_n.begin(), old_n.end(), n) != old_n.end()) continue;
+    routing::EdgeChange c;
+    c.from = origin;
+    c.to = n;
+    c.old_cost = graph_.edge_cost(origin, n);
+    c.new_cost = 1;
+    if (c.old_cost == c.new_cost) continue;
+    graph_.set_edge(origin, n, 1);
+    pending_edge_changes_.push_back(c);
+  }
+  for (auto n : old_n) {
+    if (std::find(new_n.begin(), new_n.end(), n) != new_n.end()) continue;
+    routing::EdgeChange c;
+    c.from = origin;
+    c.to = n;
+    c.old_cost = graph_.edge_cost(origin, n);
+    c.new_cost = routing::kInfinity;
+    if (c.old_cost == routing::kInfinity) continue;
+    graph_.remove_edge(origin, n);
+    pending_edge_changes_.push_back(c);
+  }
+}
+
+void Ipcp::run_spf_incremental() {
+  // My own adjacency set diffs just like a neighbor's LSU would.
+  std::vector<naming::Address> now_set;
+  for (const auto& [addr, ports] : live_neighbors()) now_set.push_back(addr);
+  if (spf_seeded_) {
+    note_lsu_edge_changes(address_, graph_my_neighbors_, now_set);
+    graph_my_neighbors_ = now_set;
+  }
+
+  if (!spf_seeded_) {
+    graph_.clear();
+    for (auto n : now_set) graph_.add_edge(address_, n, 1);
+    for (const auto& [origin, rec] : lsdb_) {
+      if (origin == address_) continue;
+      for (auto n : rec.neighbors) graph_.add_edge(origin, n, 1);
+    }
+    graph_my_neighbors_ = std::move(now_set);
+    spf_prev_ = graph_.dijkstra(address_);
+    spf_seeded_ = true;
+    pending_edge_changes_.clear();
+    stats_.inc("spf_runs");
+    stats_.inc("spf_full_runs");
+    rmt_.fib_.clear_routes();
+    for (auto& [dest, entry] : spf_prev_.entries)
+      rmt_.fib_.set_next_hops(dest, entry.next_hops);
+    rebuild_neighbor_ports();
+    return;
+  }
+
+  if (pending_edge_changes_.empty()) {
+    stats_.inc("spf_skipped");
+    rebuild_neighbor_ports();
+    return;
+  }
+  std::vector<routing::EdgeChange> changes = std::move(pending_edge_changes_);
+  pending_edge_changes_.clear();
+  routing::SpfDelta delta;
+  routing::SpfResult next =
+      graph_.spf_incremental(address_, spf_prev_, changes, delta);
+  if (delta.skipped) {
+    // No changed edge touched a shortest path: the tree stands.
+    stats_.inc("spf_skipped");
+    rebuild_neighbor_ports();
+    return;
+  }
+  stats_.inc("spf_runs");
+  stats_.inc("spf_incremental_runs");
+  stats_.inc("spf_vertices_recomputed", delta.recomputed);
+  // Patch the FIB only where the tree moved.
+  for (auto dest : delta.removed)
+    if (dest != address_) rmt_.fib_.remove_route(dest);
+  for (auto dest : delta.changed) {
+    if (dest == address_) continue;
+    auto it = next.entries.find(dest);
+    if (it != next.entries.end())
+      rmt_.fib_.set_next_hops(dest, it->second.next_hops);
+  }
+  spf_prev_ = std::move(next);
+  rebuild_neighbor_ports();
 }
 
 // ============================== Rmt ==============================
@@ -1067,7 +1782,18 @@ Result<void> FlowAllocator::register_app(const naming::AppName& app,
   return Ok();
 }
 
+Result<void> FlowAllocator::unregister_app(const naming::AppName& app) {
+  if (apps_.erase(app) == 0) return {Err::not_found, app.to_string()};
+  stats_.inc("apps_unregistered");
+  self_.unpublish_app(app);
+  return Ok();
+}
+
 bool FlowAllocator::can_resolve(const naming::AppName& app) const {
+  // A hierarchical DIF can resolve anything registered *somewhere* in it
+  // — the answer just isn't local yet. Claim yes and let the allocation
+  // path query up; a true miss fails at the allocation deadline.
+  if (self_.cfg_.dir_hierarchical && self_.enrolled_) return true;
   return self_.dir_.lookup(app).has_value();
 }
 
@@ -1136,7 +1862,7 @@ void FlowAllocator::try_pending(std::uint32_t invoke_id) {
   // stale (or null) source address; wait like a directory miss.
   std::optional<naming::Address> addr;
   if (self_.enrolled_ && !self_.address_.is_null())
-    addr = self_.dir_.lookup(pend.remote);
+    addr = self_.dir_lookup_for_alloc(pend.remote);
   if (!addr) {
     if (self_.sched().now() >= pend.deadline) {
       finish_pending(invoke_id,

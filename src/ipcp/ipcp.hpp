@@ -34,10 +34,12 @@
 #include "efcp/pci.hpp"
 #include "flow/flow.hpp"
 #include "flow/qos.hpp"
+#include "naming/dir_cache.hpp"
 #include "naming/directory.hpp"
 #include "naming/names.hpp"
 #include "relay/forwarding.hpp"
 #include "rib/riep.hpp"
+#include "rib/sync.hpp"
 #include "routing/graph.hpp"
 #include "sim/scheduler.hpp"
 
@@ -142,6 +144,11 @@ class FlowAllocator {
   /// alive while it is open, so the app may drop the handle and work
   /// purely from the event hooks.
   Result<void> register_app(const naming::AppName& app, flow::AcceptFn accept);
+  /// Withdraw a registration: the name leaves this member's accept table
+  /// and the DIF's directory (targeted update + cache invalidation in
+  /// hierarchical mode, tombstone elsewhere). The app can then register
+  /// elsewhere — mobility is unregister here, register there.
+  Result<void> unregister_app(const naming::AppName& app);
   [[nodiscard]] bool can_resolve(const naming::AppName& app) const;
   /// Does this DIF offer a QoS cube matching `spec`? (Name-only
   /// allocation skips DIFs that resolve the name but not the spec.)
@@ -309,6 +316,18 @@ class Ipcp {
   void publish_app(const naming::AppName& app);
   void unpublish_app(const naming::AppName& app);
 
+  // ---- hierarchical resolution (cfg.dir_hierarchical) ----
+  using ResolveCb = std::function<void(std::optional<naming::Address>)>;
+  /// Resolve a name: local replica, then TTL cache, then a query up the
+  /// resolver chain (member -> region anchor -> root). In flat DIFs this
+  /// degenerates to the local lookup. `cb` fires exactly once.
+  void resolve_name(const naming::AppName& app, ResolveCb cb);
+  naming::DirCache& dir_cache() { return dir_cache_; }
+  /// My region's resolver anchor ({region, cfg.dir_anchor_node}).
+  [[nodiscard]] naming::Address dir_anchor() const {
+    return naming::Address{address_.region, cfg_.dir_anchor_node};
+  }
+
  private:
   friend class Rmt;
   friend class FlowAllocator;
@@ -348,9 +367,42 @@ class Ipcp {
   void handle_join_msg(relay::PortIndex idx, const rib::RiepMessage& m);
   void handle_lsu(relay::PortIndex idx, const rib::RiepMessage& m);
   void handle_dir_update(relay::PortIndex idx, const rib::RiepMessage& m);
+  bool apply_dir_update(const rib::RiepMessage& m);  // true = fresh
   void send_dir_sync(relay::PortIndex idx);
   void handle_dir_sync(const rib::RiepMessage& m);
   void flood_dir_entry(const naming::AppName& app, std::uint8_t op);
+  void announce_app(const naming::AppName& app);  // mode-dispatched register
+
+  // Hierarchical directory plumbing.
+  [[nodiscard]] naming::Address resolver_parent() const;
+  std::optional<naming::Address> dir_lookup_for_alloc(const naming::AppName& app);
+  std::optional<naming::Address> dir_cache_lookup(const naming::AppName& app);
+  void start_dir_query(const naming::AppName& app, ResolveCb cb);
+  void send_dir_query(const naming::AppName& app);
+  void finish_dir_query(const naming::AppName& app,
+                        std::optional<naming::Address> result);
+  void send_targeted_dir_update(const naming::AppName& app, std::uint8_t op);
+  void send_dir_inval(naming::Address to, const naming::AppName& app,
+                      naming::Address at);
+  void cascade_dir_inval(const naming::AppName& app, naming::Address at);
+  void handle_dir_read(const efcp::Pci& pci, const rib::RiepMessage& m);
+  void handle_dir_read_reply(const rib::RiepMessage& m);
+  void handle_dir_inval(const rib::RiepMessage& m);
+
+  // Versioned delta RIB sync (cfg.rib_delta_sync; src/rib/sync.hpp).
+  void disseminate_dir_delta(const naming::AppName& app, std::uint8_t op);
+  void disseminate_delta(const std::string& name, const std::string& cls,
+                         Bytes value, std::uint64_t version);
+  bool apply_replicated(const rib::DeltaEntry& e);
+  void send_sync_msg(relay::PortIndex idx, const char* cls, Bytes value);
+  void push_objects(relay::PortIndex idx, const std::vector<std::string>& names);
+  void send_port_digest(relay::PortIndex idx);
+  void handle_rib_delta(relay::PortIndex idx, const rib::RiepMessage& m);
+  void handle_rib_finger(relay::PortIndex idx, const rib::RiepMessage& m);
+  void handle_rib_digest(relay::PortIndex idx, const rib::RiepMessage& m);
+  void handle_rib_pull(relay::PortIndex idx, const rib::RiepMessage& m);
+  void anti_entropy_round();
+  void start_sync_timer();
   [[nodiscard]] std::uint64_t auth_token(std::uint64_t nonce) const;
   void send_hello(relay::PortIndex idx);
   void join_attempt(relay::PortIndex idx);
@@ -363,6 +415,13 @@ class Ipcp {
   void originate_lsu();
   void flood(const rib::RiepMessage& m, std::optional<relay::PortIndex> except);
   void run_spf();
+  void run_spf_incremental();
+  [[nodiscard]] bool use_incremental_spf() const {
+    return cfg_.incremental_spf && !cfg_.aggregate_regions;
+  }
+  void note_lsu_edge_changes(naming::Address origin,
+                             const std::vector<naming::Address>& old_n,
+                             const std::vector<naming::Address>& new_n);
   void rebuild_neighbor_ports();
   [[nodiscard]] std::map<naming::Address, std::vector<relay::PortIndex>>
   live_neighbors() const;
@@ -395,6 +454,7 @@ class Ipcp {
   std::uint64_t* c_keepalives_sent_ = nullptr;
   std::uint64_t* c_lsus_flooded_ = nullptr;
   std::uint64_t* c_riep_sent_ = nullptr;
+  std::uint64_t* c_mgmt_bytes_ = nullptr;  // control bytes on the wire
 
   Rmt rmt_;
   FlowAllocator fa_;
@@ -407,6 +467,34 @@ class Ipcp {
   std::set<std::uint64_t> dir_flood_seen_;
   std::uint64_t dir_seq_ = 0;
   std::vector<naming::Address> last_neighbor_set_;
+
+  // Hierarchical directory resolution state (cfg_.dir_hierarchical).
+  naming::DirCache dir_cache_;
+  struct PendingResolve {
+    std::vector<ResolveCb> cbs;  // null entries = cache-warming only
+    int attempts = 0;
+    sim::Timer timer;
+  };
+  std::map<naming::AppName, PendingResolve> pending_resolve_;
+  // Who asked me for a name recently (authorities only; queries land on
+  // the resolver chain). Invalidations cascade down these edges instead
+  // of flooding the DIF, so a mobility event costs O(actual interest).
+  std::map<naming::AppName, std::map<naming::Address, SimTime>> dir_interest_;
+
+  // Delta sync state (cfg_.rib_delta_sync): per-origin logs + cursor.
+  rib::SyncState sync_;
+  std::uint64_t sync_seq_ = 0;  // my own dissemination sequence
+  std::size_t sync_rr_ = 0;     // anti-entropy neighbor round-robin
+  sim::Timer sync_timer_;
+
+  // Incremental SPF state (use_incremental_spf()): the live graph
+  // mirror, the last SPF result to repair from, and the edge deltas
+  // accumulated since (from LSUs and my own adjacency diffs).
+  routing::Graph graph_;
+  routing::SpfResult spf_prev_;
+  bool spf_seeded_ = false;
+  std::vector<routing::EdgeChange> pending_edge_changes_;
+  std::vector<naming::Address> graph_my_neighbors_;
 
   // Owned timers replace the scheduled/alive-token flags: armed() is the
   // "already scheduled" test and destruction is the cancellation.

@@ -53,6 +53,10 @@ struct Address {
   [[nodiscard]] std::uint32_t key() const {
     return (static_cast<std::uint32_t>(region) << 16) | node;
   }
+  static Address from_key(std::uint32_t k) {
+    return Address{static_cast<std::uint16_t>(k >> 16),
+                   static_cast<std::uint16_t>(k & 0xFFFF)};
+  }
   /// The whole-region wildcard used by aggregated FIB entries.
   [[nodiscard]] Address region_wildcard() const { return Address{region, 0}; }
 

@@ -185,6 +185,14 @@ class ForwardingTable {
     memo_ports_ = nullptr;
   }
 
+  /// Drop one destination's routing entry (incremental SPF repairs the
+  /// table in place instead of clear_routes + full repopulate).
+  void remove_route(naming::Address dest) {
+    next_hops_.erase(dest);
+    memo_hops_ = nullptr;
+    memo_ports_ = nullptr;
+  }
+
   void set_poa_policy(PoaPolicy p) { policy_ = p; }
   [[nodiscard]] PoaPolicy poa_policy() const { return policy_; }
 

@@ -111,6 +111,108 @@ static void directory() {
   CHECK(dir.size() == 0);
 }
 
+// --- incremental SPF ---
+
+// dist must match exactly; next-hop/parent *sets* must match (repair
+// order may differ from dijkstra's discovery order).
+static bool same_result(const routing::SpfResult& a,
+                        const routing::SpfResult& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (const auto& [dest, ea] : a.entries) {
+    auto it = b.entries.find(dest);
+    if (it == b.entries.end()) return false;
+    const auto& eb = it->second;
+    if (ea.dist != eb.dist) return false;
+    std::set<Address> ha(ea.next_hops.begin(), ea.next_hops.end());
+    std::set<Address> hb(eb.next_hops.begin(), eb.next_hops.end());
+    if (ha != hb) return false;
+  }
+  return true;
+}
+
+static void add_biedge(routing::Graph& g, Address u, Address v,
+                       routing::Cost c) {
+  g.add_edge(u, v, c);
+  g.add_edge(v, u, c);
+}
+
+static void spf_incremental_matches_dijkstra() {
+  // Ring with a chord: a-b-c-d-e-a plus b-e.
+  routing::Graph g;
+  Address a{1, 1}, b{1, 2}, c{1, 3}, d{1, 4}, e{1, 5};
+  add_biedge(g, a, b, 1);
+  add_biedge(g, b, c, 1);
+  add_biedge(g, c, d, 1);
+  add_biedge(g, d, e, 1);
+  add_biedge(g, e, a, 1);
+  add_biedge(g, b, e, 1);
+  routing::SpfResult prev = g.dijkstra(a);
+
+  // Worsen a tight edge, improve another, and add a brand-new vertex —
+  // one batch, compared against a fresh full run.
+  std::vector<routing::EdgeChange> ch;
+  g.set_edge(b, c, 5);
+  g.set_edge(c, b, 5);
+  ch.push_back({b, c, 1, 5});
+  ch.push_back({c, b, 1, 5});
+  Address f{1, 6};
+  g.add_edge(d, f, 1);
+  g.add_edge(f, d, 1);
+  ch.push_back({d, f, routing::kInfinity, 1});
+  ch.push_back({f, d, routing::kInfinity, 1});
+
+  routing::SpfDelta delta;
+  routing::SpfResult inc = g.spf_incremental(a, prev, ch, delta);
+  CHECK(!delta.skipped);
+  CHECK(same_result(inc, g.dijkstra(a)));
+  CHECK(delta.recomputed > 0);
+}
+
+static void spf_incremental_skips_off_tree_changes() {
+  // Square a-b-c-d-a with a costly diagonal b-d that no shortest path
+  // from `a` uses: worsening it further must be recognised as a no-op.
+  routing::Graph g;
+  Address a{1, 1}, b{1, 2}, c{1, 3}, d{1, 4};
+  add_biedge(g, a, b, 1);
+  add_biedge(g, b, c, 1);
+  add_biedge(g, c, d, 1);
+  add_biedge(g, d, a, 1);
+  add_biedge(g, b, d, 10);
+  routing::SpfResult prev = g.dijkstra(a);
+
+  g.set_edge(b, d, 20);
+  g.set_edge(d, b, 20);
+  routing::SpfDelta delta;
+  routing::SpfResult inc = g.spf_incremental(
+      a, prev, {{b, d, 10, 20}, {d, b, 10, 20}}, delta);
+  CHECK(delta.skipped);
+  CHECK(delta.recomputed == 0);
+  CHECK(same_result(inc, g.dijkstra(a)));
+}
+
+static void spf_incremental_reports_unreachable() {
+  // Chain a-b-c; cutting b-c strands c and the delta must say so, so
+  // the FIB can drop the route instead of keeping a ghost entry.
+  routing::Graph g;
+  Address a{1, 1}, b{1, 2}, c{1, 3};
+  add_biedge(g, a, b, 1);
+  add_biedge(g, b, c, 1);
+  routing::SpfResult prev = g.dijkstra(a);
+
+  g.remove_edge(b, c);
+  g.remove_edge(c, b);
+  routing::SpfDelta delta;
+  routing::SpfResult inc = g.spf_incremental(
+      a, prev,
+      {{b, c, 1, routing::kInfinity}, {c, b, 1, routing::kInfinity}}, delta);
+  CHECK(!delta.skipped);
+  CHECK(std::find(delta.removed.begin(), delta.removed.end(), c) !=
+        delta.removed.end());
+  CHECK(inc.entries.find(c) == inc.entries.end());
+  CHECK(inc.entries.at(b).dist == 1);
+  CHECK(same_result(inc, g.dijkstra(a)));
+}
+
 int main() {
   dijkstra_basic();
   dijkstra_prefers_shorter();
@@ -118,5 +220,8 @@ int main() {
   round_robin_poa();
   region_aggregation();
   directory();
+  spf_incremental_matches_dijkstra();
+  spf_incremental_skips_off_tree_changes();
+  spf_incremental_reports_unreachable();
   return TEST_MAIN_RESULT();
 }
