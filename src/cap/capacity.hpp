@@ -1,0 +1,167 @@
+// capacity.hpp — MSI-style capacity search: find the knee, not a point.
+//
+// Fixed offered-load sweeps (bench_c2) show goodput *at* chosen loads;
+// the number the paper's scoped-resource-allocation argument turns on is
+// the highest rate a configuration can *hold* — the knee. Following
+// ndn-dpdk's MSI benchmark (minimum sustained interval: binary-search
+// the sending interval until delivery stays near 100% within a target
+// uncertainty), CapacitySearch bisects offered rate over repeatable
+// seeded trial windows:
+//
+//   - a trial at rate r is "sustained" when its delivery ratio
+//     (unique in-window deliveries / in-window offers) stays at or
+//     above the threshold (default 99.5%);
+//   - sustainability is assumed monotone in rate (the physics of a
+//     bottleneck: more offered load can only push delivery down), so
+//     the bracket [highest sustained, lowest unsustained] halves per
+//     probe until it is tighter than the configured uncertainty;
+//   - both endpoints are probed first, so "the floor already fails" and
+//     "the ceiling still holds" are reported as typed outcomes instead
+//     of a fake converged number.
+//
+// The search is deterministic: it calls nothing but the trial function,
+// so a trial that is a pure function of (seed, rate) — every simulator
+// trial is — makes the whole search, including its convergence trace, a
+// pure function of the configuration. Benches lean on that for their
+// byte-identical rerun guarantee.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rina::cap {
+
+/// One measured trial window at a fixed offered rate.
+struct TrialResult {
+  double offered_pps = 0.0;  // the rate this trial was asked to offer
+  std::uint64_t offered = 0;    // SDUs offered inside the measurement window
+  std::uint64_t delivered = 0;  // unique in-window SDUs delivered
+  /// Per-flow delivery counts for the same window (fairness input).
+  std::vector<std::uint64_t> per_flow_delivered;
+
+  [[nodiscard]] double delivery_ratio() const {
+    return offered == 0
+               ? 0.0
+               : static_cast<double>(delivered) / static_cast<double>(offered);
+  }
+};
+
+/// Jain's fairness index over per-flow delivery counts: 1 when every
+/// flow gets the same share, 1/n when one flow starves the rest.
+inline double jain_fairness(const std::vector<std::uint64_t>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (std::uint64_t v : x) {
+    double d = static_cast<double>(v);
+    sum += d;
+    sumsq += d * d;
+  }
+  if (sumsq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(x.size()) * sumsq);
+}
+
+struct SearchConfig {
+  double min_pps = 100.0;   // assumed-sustainable floor of the bracket
+  double max_pps = 1e6;     // assumed-unsustainable ceiling
+  /// Terminate when the bracket is at most this wide: the capacity
+  /// estimate is then `capacity_pps` (+uncertainty, −0).
+  double uncertainty_pps = 50.0;
+  double delivery_threshold = 0.995;
+  /// Hard stop on probes — log2(range/uncertainty)+2 in practice, so
+  /// this binds only on a misconfigured (e.g. zero-width) bracket.
+  int max_probes = 64;
+};
+
+/// One probe of the convergence trace.
+struct Probe {
+  double rate_pps = 0.0;
+  double ratio = 0.0;
+  bool sustained = false;
+};
+
+struct SearchResult {
+  /// Highest probed rate that sustained the threshold (the capacity
+  /// estimate; 0 when even the floor failed).
+  double capacity_pps = 0.0;
+  /// Lowest probed rate that failed (the bracket's far edge; max_pps
+  /// when the ceiling held).
+  double bracket_pps = 0.0;
+  bool floor_unsustained = false;  // min_pps already missed the threshold
+  bool ceiling_sustained = false;  // max_pps held: capacity >= ceiling
+  int probes = 0;
+  /// The measured trial at capacity_pps (fairness, exact ratio).
+  TrialResult at_capacity;
+  std::vector<Probe> trace;  // every probe, in search order
+
+  [[nodiscard]] double uncertainty() const { return bracket_pps - capacity_pps; }
+  [[nodiscard]] bool converged(const SearchConfig& cfg) const {
+    return floor_unsustained || ceiling_sustained ||
+           uncertainty() <= cfg.uncertainty_pps;
+  }
+};
+
+class CapacitySearch {
+ public:
+  /// A trial: run the configuration at `pps` offered aggregate rate and
+  /// report what the measurement window delivered. Must be repeatable —
+  /// same rate, same result (fresh seeded simulation per call).
+  using TrialFn = std::function<TrialResult(double pps)>;
+
+  explicit CapacitySearch(SearchConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const SearchConfig& config() const { return cfg_; }
+
+  SearchResult run(const TrialFn& trial) const {
+    SearchResult res;
+    auto probe = [&](double rate) {
+      TrialResult t = trial(rate);
+      bool ok = t.delivery_ratio() >= cfg_.delivery_threshold;
+      res.trace.push_back({rate, t.delivery_ratio(), ok});
+      ++res.probes;
+      return std::make_pair(ok, std::move(t));
+    };
+
+    // Endpoints first: they type the outcome and seed the bracket.
+    auto [floor_ok, floor_trial] = probe(cfg_.min_pps);
+    if (!floor_ok) {
+      res.floor_unsustained = true;
+      res.capacity_pps = 0.0;
+      res.bracket_pps = cfg_.min_pps;
+      return res;
+    }
+    res.capacity_pps = cfg_.min_pps;
+    res.at_capacity = std::move(floor_trial);
+
+    auto [ceil_ok, ceil_trial] = probe(cfg_.max_pps);
+    if (ceil_ok) {
+      res.ceiling_sustained = true;
+      res.capacity_pps = cfg_.max_pps;
+      res.bracket_pps = cfg_.max_pps;
+      res.at_capacity = std::move(ceil_trial);
+      return res;
+    }
+    res.bracket_pps = cfg_.max_pps;
+
+    // Bisect the bracket. Invariant: capacity_pps sustained,
+    // bracket_pps unsustained, capacity_pps < bracket_pps.
+    while (res.bracket_pps - res.capacity_pps > cfg_.uncertainty_pps &&
+           res.probes < cfg_.max_probes) {
+      double mid = res.capacity_pps + (res.bracket_pps - res.capacity_pps) / 2.0;
+      auto [ok, t] = probe(mid);
+      if (ok) {
+        res.capacity_pps = mid;
+        res.at_capacity = std::move(t);
+      } else {
+        res.bracket_pps = mid;
+      }
+    }
+    return res;
+  }
+
+ private:
+  SearchConfig cfg_;
+};
+
+}  // namespace rina::cap

@@ -51,8 +51,7 @@ class Connection {
         dtcp_(sched, pol_),
         id_(id),
         send_(std::move(send)),
-        deliver_(std::move(deliver)),
-        rto_(pol.initial_rto) {
+        deliver_(std::move(deliver)) {
     // Per-PDU counter cells resolved once (Stats::slot): these five run
     // for every data PDU / ack on the connection.
     c_pdus_tx_ = stats_.slot("pdus_tx");
@@ -60,6 +59,14 @@ class Connection {
     c_acks_tx_ = stats_.slot("acks_tx");
     c_acks_rx_ = stats_.slot("acks_rx");
     c_sdus_delivered_ = stats_.slot("sdus_delivered");
+    // Estimator/window gauges (assigned, not incremented): benches and
+    // tests read srtt/rttvar/rto and the live window by counter name
+    // instead of reaching into DTCP internals.
+    c_srtt_us_ = stats_.slot("srtt_us");
+    c_rttvar_us_ = stats_.slot("rttvar_us");
+    c_rto_us_ = stats_.slot("rto_us");
+    c_cwnd_ = stats_.slot("cwnd_pdus");
+    *c_cwnd_ = dtcp_.window();
     // DTCP governs the reliable sender's admission; an unreliable flow
     // has no acks (so no window and no congestion feedback) and sends
     // on write. A non-default tx policy on such a flow is inert —
@@ -154,9 +161,11 @@ class Connection {
   }
 
   /// DTCP visibility (tests, diagnostics): the current transmission
-  /// window and, for aimd_ecn, the raw congestion window.
+  /// window, the raw congestion window of the windowed policies, and
+  /// the shared RTT estimator.
   [[nodiscard]] std::size_t tx_window() const { return dtcp_.window(); }
   [[nodiscard]] double cwnd() const { return dtcp_.cwnd(); }
+  [[nodiscard]] const RttEstimator& rtt() const { return dtcp_.rtt(); }
 
  private:
   /// The one refusal predicate, shared by write_sdu's pre-copy check and
@@ -246,20 +255,30 @@ class Connection {
     // advances — the receiver saw congestion inside this DIF.
     if ((pci.flags & kFlagEcnEcho) != 0) {
       stats_.inc("ecn_echo_rx");
-      if (dtcp_.on_congestion(acked_, next_seq_)) stats_.inc("cwnd_backoffs");
+      if (dtcp_.on_congestion(acked_, next_seq_)) {
+        stats_.inc("cwnd_backoffs");
+        *c_cwnd_ = dtcp_.window();
+      }
     }
     if (cum > acked_) {
       std::size_t newly = 0;
       while (!inflight_.empty() && inflight_.front().first < cum) {
         const Unacked& u = inflight_.front().second;
-        if (!u.retransmitted) sample_rtt(sched_.now() - u.sent);
+        // Karn's rule lives in the estimator: a sample over a
+        // retransmitted PDU is refused there, and the refusal is counted
+        // here so tests can see ambiguous samples never reach the filter.
+        if (dtcp_.on_rtt_sample(sched_.now() - u.sent, u.retransmitted))
+          publish_rtt_gauges();
+        else
+          stats_.inc("rtt_samples_karn_ignored");
         inflight_.pop_front();
         ++newly;
       }
       acked_ = cum;
       dup_acks_ = 0;
-      backoff_ = 0;
+      dtcp_.on_ack_edge_advance();
       if ((pci.flags & kFlagEcnEcho) == 0) dtcp_.on_ack_advance(newly);
+      *c_cwnd_ = dtcp_.window();
       drain_sendq();
       arm_timer();
       return;
@@ -270,7 +289,10 @@ class Connection {
       retransmit_oldest(/*fast=*/true);
       // A fast retransmit is inferred loss — congestion feedback like an
       // RTO (the recovery guard keeps it to one cut per window).
-      if (dtcp_.on_congestion(acked_, next_seq_)) stats_.inc("cwnd_backoffs");
+      if (dtcp_.on_congestion(acked_, next_seq_)) {
+        stats_.inc("cwnd_backoffs");
+        *c_cwnd_ = dtcp_.window();
+      }
     }
   }
 
@@ -292,40 +314,36 @@ class Connection {
     stats_.inc("rto_fired");
     // Loss is a congestion signal too (the marks may have been lost with
     // the PDUs they rode on).
-    if (dtcp_.on_congestion(acked_, next_seq_)) stats_.inc("cwnd_backoffs");
-    if (backoff_ < 6) ++backoff_;
+    if (dtcp_.on_congestion(acked_, next_seq_)) {
+      stats_.inc("cwnd_backoffs");
+      *c_cwnd_ = dtcp_.window();
+    }
+    dtcp_.on_rto_timeout();
+    publish_rtt_gauges();
     arm_timer();
   }
 
   /// (Re)target the retransmission timer at the owned handle: the common
   /// path — an ack while the timer is armed — rearms in place, reusing
   /// the stored closure with no allocation; cancellation is the handle's
-  /// destructor, so no epoch or alive-token bookkeeping remains.
+  /// destructor, so no epoch or alive-token bookkeeping remains. The
+  /// timeout itself is the estimator's: filtered RTO plus backoff.
   void arm_timer() {
     if (inflight_.empty()) {
       rto_timer_.cancel();
       return;
     }
-    SimTime t = rto_;
-    for (int i = 0; i < backoff_; ++i) t = t + t;
-    if (pol_.max_rto < t) t = pol_.max_rto;
+    SimTime t = dtcp_.rto();
     if (!rto_timer_.rearm(t))
       rto_timer_ = sched_.schedule_after(t, [this] { on_rto(); });
   }
 
-  void sample_rtt(SimTime rtt) {
-    if (srtt_.ns == 0) {
-      srtt_ = rtt;
-      rttvar_ = SimTime{rtt.ns / 2};
-    } else {
-      std::int64_t err = rtt.ns - srtt_.ns;
-      srtt_.ns += err / 8;
-      rttvar_.ns += ((err < 0 ? -err : err) - rttvar_.ns) / 4;
-    }
-    std::int64_t rto = srtt_.ns + 4 * rttvar_.ns;
-    if (rto < pol_.min_rto.ns) rto = pol_.min_rto.ns;
-    if (rto > pol_.max_rto.ns) rto = pol_.max_rto.ns;
-    rto_ = SimTime{rto};
+  /// Mirror the estimator into the gauge counters after it moved.
+  void publish_rtt_gauges() {
+    const RttEstimator& r = dtcp_.rtt();
+    *c_srtt_us_ = static_cast<std::uint64_t>(r.srtt().ns / 1000);
+    *c_rttvar_us_ = static_cast<std::uint64_t>(r.rttvar().ns / 1000);
+    *c_rto_us_ = static_cast<std::uint64_t>(r.rto().ns / 1000);
   }
 
   // ---- receiver side ----
@@ -415,6 +433,11 @@ class Connection {
   std::uint64_t* c_acks_tx_ = nullptr;
   std::uint64_t* c_acks_rx_ = nullptr;
   std::uint64_t* c_sdus_delivered_ = nullptr;
+  // Estimator/window gauges (current values, not accumulations).
+  std::uint64_t* c_srtt_us_ = nullptr;
+  std::uint64_t* c_rttvar_us_ = nullptr;
+  std::uint64_t* c_rto_us_ = nullptr;
+  std::uint64_t* c_cwnd_ = nullptr;
 
   // Sender.
   std::uint64_t next_seq_ = 0;
@@ -426,11 +449,7 @@ class Connection {
   std::deque<std::pair<std::uint64_t, Unacked>> inflight_;
   std::deque<Packet> sendq_;
   int dup_acks_ = 0;
-  int backoff_ = 0;
   bool refused_ = false;  // a write hit backpressure; wake-up armed
-  SimTime rto_;
-  SimTime srtt_{};
-  SimTime rttvar_{};
   sim::Timer rto_timer_;
   sim::Timer pace_timer_;
   sim::Timer writable_timer_;

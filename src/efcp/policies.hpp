@@ -24,6 +24,8 @@ enum class TxPolicy : std::uint8_t {
   static_window,  // fixed window of PDUs in flight (the classic default)
   aimd_ecn,       // congestion window driven by explicit congestion marks
   rate_based,     // token-bucket pacing (e.g. a known-rate wireless hop)
+  cubic,          // CUBIC window growth (RFC 8312) off congestion signals
+  delay_based,    // Vegas-style backoff on rising SRTT above the RTT floor
 };
 
 struct EfcpPolicies {
@@ -47,6 +49,17 @@ struct EfcpPolicies {
   // rate_based: sustained rate and burst tolerance of the token bucket.
   double rate_pps = 50000.0;
   double bucket_pdus = 32.0;
+  // cubic: RFC 8312 constants — the cubic coefficient C, the
+  // multiplicative-decrease factor β, and fast convergence (release the
+  // window plateau early when capacity shrank since the last episode).
+  double cubic_c = 0.4;
+  double cubic_beta = 0.7;
+  bool cubic_fast_convergence = true;
+  // delay_based: Vegas-style queue estimate q = cwnd·(srtt − min_rtt)/srtt
+  // (PDUs the flow itself keeps queued in the network). Grow below
+  // vegas_alpha, back off above vegas_beta, hold in between.
+  double vegas_alpha = 2.0;
+  double vegas_beta = 4.0;
 
   /// Mechanism profile by policy name. Unknown names are an error — a
   /// typo in a DIF config must surface at connection setup, not run
@@ -76,6 +89,14 @@ struct EfcpPolicies {
       p.tx_policy = TxPolicy::rate_based;
       return p;
     }
+    if (name == "cubic") {
+      p.tx_policy = TxPolicy::cubic;
+      return p;
+    }
+    if (name == "delay_based") {
+      p.tx_policy = TxPolicy::delay_based;
+      return p;
+    }
     return {Err::not_found, "unknown EFCP policy name: " + name};
   }
 
@@ -89,6 +110,10 @@ struct EfcpPolicies {
       tx_policy = TxPolicy::aimd_ecn;
     } else if (name == "rate_based") {
       tx_policy = TxPolicy::rate_based;
+    } else if (name == "cubic") {
+      tx_policy = TxPolicy::cubic;
+    } else if (name == "delay_based") {
+      tx_policy = TxPolicy::delay_based;
     } else {
       return {Err::not_found, "unknown DTCP policy name: " + name};
     }

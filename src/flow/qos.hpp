@@ -26,7 +26,8 @@ struct QosCube {
   std::string name;
   std::string efcp_policy = "reliable";  // reliable | unreliable | wireless-hop
   /// DTCP transmission-control policy for flows in this cube:
-  /// "" (= static_window) | "static_window" | "aimd_ecn" | "rate_based".
+  /// "" (= static_window) | "static_window" | "aimd_ecn" | "rate_based" |
+  /// "cubic" | "delay_based".
   std::string dtcp_policy;
   /// rate_based parameters: sustained rate and burst tolerance of the
   /// token bucket. 0 keeps the policy defaults (policies.hpp).

@@ -32,12 +32,16 @@ static void unknown_policy_names_error() {
   // Every documented name resolves.
   for (const char* name :
        {"", "reliable", "unreliable", "wireless-hop", "static_window",
-        "aimd_ecn", "rate_based"})
+        "aimd_ecn", "rate_based", "cubic", "delay_based"})
     CHECK(efcp::EfcpPolicies::from_policy_name(name).ok());
   CHECK(p.set_tx_policy("aimd_ecn").ok());
   CHECK(p.tx_policy == efcp::TxPolicy::aimd_ecn);
   CHECK(p.set_tx_policy("rate_based").ok());
   CHECK(p.tx_policy == efcp::TxPolicy::rate_based);
+  CHECK(p.set_tx_policy("cubic").ok());
+  CHECK(p.tx_policy == efcp::TxPolicy::cubic);
+  CHECK(p.set_tx_policy("delay_based").ok());
+  CHECK(p.tx_policy == efcp::TxPolicy::delay_based);
   CHECK(p.set_tx_policy("static_window").ok());
   CHECK(p.tx_policy == efcp::TxPolicy::static_window);
 }
